@@ -1,0 +1,58 @@
+"""Microbenchmarks of the Bloom-filter substrate.
+
+Not tied to a specific paper figure; provides throughput baselines for the data
+structures everything else is built on (insertions and membership probes for the
+classic Bloom filter and the Weighted Bloom Filter).
+"""
+
+from fractions import Fraction
+
+from repro.bloom.standard import BloomFilter
+from repro.core.wbf import WeightedBloomFilter
+
+ITEM_COUNT = 2000
+
+
+def test_bloom_filter_insert_throughput(benchmark):
+    def insert_items():
+        bloom = BloomFilter(bit_count=ITEM_COUNT * 10, hash_count=4)
+        bloom.add_many(range(ITEM_COUNT))
+        return bloom
+
+    bloom = benchmark(insert_items)
+    assert bloom.item_count == ITEM_COUNT
+
+
+def test_bloom_filter_query_throughput(benchmark):
+    bloom = BloomFilter(bit_count=ITEM_COUNT * 10, hash_count=4)
+    bloom.add_many(range(ITEM_COUNT))
+
+    def probe_items():
+        return sum(1 for value in range(ITEM_COUNT) if value in bloom)
+
+    hits = benchmark(probe_items)
+    assert hits == ITEM_COUNT
+
+
+def test_weighted_bloom_filter_insert_throughput(benchmark):
+    weight = Fraction(1, 3)
+
+    def insert_items():
+        wbf = WeightedBloomFilter(bit_count=ITEM_COUNT * 12, hash_count=4)
+        wbf.add_many(range(ITEM_COUNT), weight)
+        return wbf
+
+    wbf = benchmark(insert_items)
+    assert wbf.item_count == ITEM_COUNT
+
+
+def test_weighted_bloom_filter_weighted_query_throughput(benchmark):
+    weight = Fraction(1, 3)
+    wbf = WeightedBloomFilter(bit_count=ITEM_COUNT * 12, hash_count=4)
+    wbf.add_many(range(ITEM_COUNT), weight)
+
+    def probe_items():
+        return sum(1 for value in range(ITEM_COUNT) if weight in wbf.query_weights(value))
+
+    hits = benchmark(probe_items)
+    assert hits == ITEM_COUNT

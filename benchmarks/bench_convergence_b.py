@@ -1,0 +1,44 @@
+"""Convergence study (Section V-B): matching accuracy versus the sample count ``b``.
+
+The paper observes accuracy converging around b = 5 and stabilising by b = 12 over
+four data groups; this bench sweeps b over four synthetic groups and checks the same
+qualitative behaviour (accuracy improves with b and is stable between 12 and 16).
+"""
+
+from conftest import write_report
+
+from repro.evaluation.experiments import convergence_study
+from repro.evaluation.reporting import format_convergence_table
+
+SAMPLE_COUNTS = (1, 2, 3, 5, 8, 12, 16)
+
+
+def _run_study():
+    return convergence_study(
+        sample_counts=list(SAMPLE_COUNTS),
+        group_count=4,
+        users_per_category=12,
+        station_count=6,
+        query_count=12,
+        epsilon=2,
+        noise_level=1,
+        seed=97,
+    )
+
+
+def test_convergence_of_sample_count(benchmark):
+    results = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    write_report("convergence_b", format_convergence_table(results))
+
+    for group, per_group in results.items():
+        # Accuracy at the paper's operating point (b = 12) beats the single-sample
+        # setting, and is stable between b = 12 and b = 16.
+        assert per_group[12] >= per_group[1], group
+        assert abs(per_group[16] - per_group[12]) <= 0.1, group
+
+    # Averaged over groups the curve is (weakly) improving up to the plateau.
+    def mean_accuracy(b):
+        return sum(per_group[b] for per_group in results.values()) / len(results)
+
+    assert mean_accuracy(12) >= mean_accuracy(2)
+    assert mean_accuracy(12) >= 0.9

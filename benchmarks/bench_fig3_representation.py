@@ -1,0 +1,38 @@
+"""Figure 3: accumulated (Eq. 3) pattern representation over one week.
+
+Regenerates the accumulated category series and checks the properties the encoder
+relies on: monotone growth, and progressive separation of the categories over time.
+"""
+
+from conftest import write_report
+
+from repro.evaluation.figures import accumulated_category_series
+from repro.utils.asciiplot import render_line_chart
+
+
+def _build_series():
+    return accumulated_category_series(days=7, bin_hours=6)
+
+
+def test_figure_3_accumulated_representation(benchmark):
+    series = benchmark.pedantic(_build_series, rounds=3, iterations=1)
+
+    length = len(next(iter(series.values())))
+    chart = render_line_chart(
+        series,
+        x_values=list(range(length)),
+        title="Figure 3: accumulated category patterns (unit: 6 h, length: 1 week)",
+    )
+    write_report("fig3_representation", chart)
+
+    # Monotone non-decreasing accumulated form.
+    for values in series.values():
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    # Separation grows along the accumulation: the spread across categories at the
+    # end of the week is at least as large as after the first quarter of it.
+    def spread(index):
+        column = [values[index] for values in series.values()]
+        return max(column) - min(column)
+
+    assert spread(length - 1) >= spread(length // 4)

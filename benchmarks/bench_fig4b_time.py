@@ -1,0 +1,42 @@
+"""Figure 4(b): time cost versus the number of query patterns.
+
+Expected shape: the naive method (which ships and centrally matches the entire
+dataset) is the slowest and grows the fastest with the number of patterns; the
+WBF-based DI-matching stays cheapest and is nearly insensitive to the pattern count
+because the per-station probing cost is fixed at b·k bit probes per candidate.
+"""
+
+from conftest import write_report
+
+from repro.baselines.naive import NaiveProtocol
+from repro.distributed.simulator import DistributedSimulation
+from repro.evaluation.reporting import comparison_series, format_comparison_sweep
+
+
+def test_figure_4b_time_cost(benchmark, figure4_dataset, figure4_largest_workload, figure4_sweep):
+    simulation = DistributedSimulation(figure4_dataset)
+    queries = list(figure4_largest_workload.queries)
+
+    # The timed unit is the naive method on the largest batch — the paper's worst case.
+    benchmark.pedantic(
+        lambda: simulation.run(NaiveProtocol(epsilon=0), queries, k=None),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = format_comparison_sweep(
+        figure4_sweep, "time", "Figure 4(b): total time (s) vs number of patterns"
+    )
+    write_report("fig4b_time", report)
+
+    series = comparison_series(figure4_sweep, "time")
+    # The naive method is the most expensive at every pattern count, and WBF stays
+    # well below it even at the largest batch.  (The paper additionally reports the
+    # naive curve growing steeply with the pattern count; at our synthetic scale the
+    # naive cost is dominated by shipping the raw data, which is constant in the
+    # pattern count, so that growth trend is muted — see EXPERIMENTS.md.)
+    assert all(
+        naive >= wbf for naive, wbf in zip(series["naive"], series["wbf"])
+    )
+    assert series["wbf"][-1] < series["naive"][-1]
+    assert series["bf"][-1] < series["naive"][-1]

@@ -1,0 +1,41 @@
+"""Figure 4(c): communication cost (fraction of the naive method) versus pattern count.
+
+Expected shape: both filter-based methods move only a small fraction of the bytes the
+naive method ships, because the naive uplink carries every raw local pattern while
+the filters summarise the whole query batch.  (The BF-vs-WBF ordering is
+scale-dependent — see bench_ablation_scale.py and EXPERIMENTS.md.)
+"""
+
+from conftest import write_report
+
+from repro.baselines.bf_matching import BloomFilterProtocol
+from repro.distributed.simulator import DistributedSimulation
+from repro.evaluation.reporting import comparison_series, format_comparison_sweep
+
+
+def test_figure_4c_communication_cost(
+    benchmark, figure4_dataset, figure4_largest_workload, figure4_config, figure4_sweep
+):
+    simulation = DistributedSimulation(figure4_dataset)
+    queries = list(figure4_largest_workload.queries)
+
+    benchmark.pedantic(
+        lambda: simulation.run(BloomFilterProtocol(figure4_config), queries, k=None),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = format_comparison_sweep(
+        figure4_sweep,
+        "communication",
+        "Figure 4(c): communication cost relative to the naive method",
+    )
+    write_report("fig4c_communication", report)
+
+    series = comparison_series(figure4_sweep, "communication")
+    assert all(value == 1.0 for value in series["naive"])
+    # Filter-based methods stay well below the naive upload at every pattern count.
+    assert all(value < 0.6 for value in series["wbf"])
+    assert all(value < 0.6 for value in series["bf"])
+    # At the smallest batch the savings are dramatic (order of magnitude).
+    assert series["wbf"][0] < 0.2

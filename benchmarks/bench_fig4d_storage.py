@@ -1,0 +1,36 @@
+"""Figure 4(d): storage cost (fraction of the naive method) versus pattern count.
+
+Expected shape: the naive method duplicates the entire raw dataset at the data
+center, while the filter-based methods only store the distributed filter and the
+reports, so their storage overhead is a small fraction of naive; the WBF costs
+slightly more than the plain BF (the per-bit weight pointers), which is the storage
+trade-off the paper accepts for the accuracy gain.
+"""
+
+from conftest import write_report
+
+from repro.core.encoder import PatternEncoder
+from repro.evaluation.reporting import comparison_series, format_comparison_sweep
+
+
+def test_figure_4d_storage_cost(
+    benchmark, figure4_largest_workload, figure4_config, figure4_sweep
+):
+    queries = list(figure4_largest_workload.queries)
+    encoder = PatternEncoder(figure4_config)
+
+    # The timed unit is the construction of the WBF itself (Algorithm 1), whose size
+    # is what drives the filter-side storage.
+    benchmark.pedantic(lambda: encoder.encode_batch(queries), rounds=1, iterations=1)
+
+    report = format_comparison_sweep(
+        figure4_sweep, "storage", "Figure 4(d): storage cost relative to the naive method"
+    )
+    write_report("fig4d_storage", report)
+
+    series = comparison_series(figure4_sweep, "storage")
+    assert all(value == 1.0 for value in series["naive"])
+    assert all(value < 0.7 for value in series["wbf"])
+    assert all(value < 0.7 for value in series["bf"])
+    # The weights make the WBF slightly larger than the plain BF, never smaller.
+    assert all(wbf >= bf for wbf, bf in zip(series["wbf"], series["bf"]))

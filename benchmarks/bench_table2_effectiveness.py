@@ -1,0 +1,38 @@
+"""Table II: effectiveness (precision / recall / F1) on the ground-truth cohort.
+
+Regenerates the four-day effectiveness table on the synthetic 310-person cohort with
+ε = 2 and timing-jitter noise.  The paper reports ≥ 0.97 precision and ≥ 0.99 recall;
+the reproduction requires the same qualitative level (≥ 0.95 on average, ≥ 0.9 on
+every day).
+"""
+
+from conftest import write_report
+
+from repro.evaluation.experiments import effectiveness_study
+from repro.evaluation.reporting import format_effectiveness_table
+
+
+def _run_study():
+    return effectiveness_study(
+        day_count=4,
+        cohort_size=310,
+        queries_per_category=2,
+        epsilon=2,
+        noise_level=1,
+        sample_count=12,
+        seed=2009,
+    )
+
+
+def test_table_2_effectiveness(benchmark):
+    rows = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    write_report("table2_effectiveness", format_effectiveness_table(rows))
+
+    assert len(rows) == 4
+    for row in rows:
+        assert row.precision >= 0.9, row
+        assert row.recall >= 0.9, row
+        assert row.f1 >= 0.9, row
+
+    mean_f1 = sum(row.f1 for row in rows) / len(rows)
+    assert mean_f1 >= 0.95

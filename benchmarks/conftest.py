@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md §4).
+The heavyweight inputs — the Figure-4 dataset and its query-count sweep — are built
+once per session and shared; the rendered reports are written to
+``benchmarks/results/`` so they survive the run and can be pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import DIMatchingConfig  # noqa: E402
+from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload  # noqa: E402
+from repro.evaluation.experiments import sweep_query_counts  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Query-count sweep used for every Figure-4 panel.  Each query contributes a handful
+#: of combined patterns, so these counts correspond to roughly 40–340 represented
+#: patterns (the paper sweeps 100–500 on its much larger dataset).
+FIGURE4_QUERY_COUNTS = (6, 12, 24, 36, 48)
+
+
+def write_report(name: str, content: str) -> Path:
+    """Persist a rendered table/figure under ``benchmarks/results/`` and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def figure4_config() -> DIMatchingConfig:
+    """Exact-matching configuration shared by the Figure-4 panels."""
+    return DIMatchingConfig(epsilon=0, sample_count=12, hash_count=4)
+
+
+@pytest.fixture(scope="session")
+def figure4_dataset():
+    """The synthetic city used for the accuracy/efficiency comparison (Figure 4)."""
+    return build_dataset(
+        DatasetSpec(
+            users_per_category=120,
+            station_count=6,
+            days=2,
+            intervals_per_day=48,
+            noise_level=0,
+            cliques_per_place=3,
+            replicated_decoys_per_category=3,
+            seed=2012,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def figure4_largest_workload(figure4_dataset):
+    """The largest query batch of the sweep, used as the benchmark timing unit."""
+    return build_query_workload(
+        figure4_dataset, FIGURE4_QUERY_COUNTS[-1], epsilon=0, seed=2012
+    )
+
+
+@pytest.fixture(scope="session")
+def figure4_sweep(figure4_dataset, figure4_config):
+    """The full Naive / BF / WBF sweep over increasing pattern counts (Figure 4 a-d)."""
+    return sweep_query_counts(
+        figure4_dataset,
+        list(FIGURE4_QUERY_COUNTS),
+        epsilon=0,
+        config=figure4_config,
+        methods=("naive", "bf", "wbf"),
+        seed=2012,
+    )

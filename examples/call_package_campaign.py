@@ -1,0 +1,89 @@
+"""The paper's motivating scenario: targeting a call-package campaign.
+
+A mobile operator wants to promote a call package to customers whose communication
+pattern resembles a small set of existing, satisfied customers.  The exemplar
+customers' data is split across base stations; the operator runs DI-matching to find
+the top-K most similar subscribers without hauling every station's raw data to the
+data center.
+
+Run with:  python examples/call_package_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import DatasetSpec, DIMatchingConfig, build_dataset
+from repro.baselines import NaiveProtocol
+from repro.core import DIMatchingProtocol
+from repro.datagen.workload import build_query_workload
+from repro.distributed import DistributedSimulation, NetworkConfig
+from repro.evaluation import evaluate_retrieval, ground_truth_users
+
+
+def main() -> None:
+    # A mid-sized district: ~200 subscribers spread over six cells, two days of data
+    # at 30-minute granularity, with natural person-to-person timing jitter.
+    dataset = build_dataset(
+        DatasetSpec(
+            users_per_category=30,
+            station_count=6,
+            days=2,
+            intervals_per_day=48,
+            noise_level=1,
+            seed=77,
+        )
+    )
+    print(f"district dataset: {dataset}")
+
+    # The campaign team picks exemplar customers from two profiles it wants to reach:
+    # heavy daytime users (field sales) and evening-heavy users (students).
+    workload = build_query_workload(
+        dataset,
+        query_count=4,
+        epsilon=2,
+        categories=["field_sales", "student"],
+        seed=5,
+    )
+    queries = list(workload.queries)
+    truth = ground_truth_users(dataset, queries, workload.epsilon)
+    print(f"campaign exemplars: {len(queries)}; truly similar subscribers: {len(truth)}")
+
+    # Simulate the distributed round over a bandwidth-limited backhaul.
+    simulation = DistributedSimulation(
+        dataset, NetworkConfig(bandwidth_bytes_per_s=1_000_000, latency_s=0.02)
+    )
+    config = DIMatchingConfig(epsilon=2, sample_count=12)
+    top_k = len(truth)
+
+    wbf_outcome = simulation.run(DIMatchingProtocol(config), queries, k=top_k)
+    naive_outcome = simulation.run(NaiveProtocol(epsilon=2), queries, k=top_k)
+
+    for outcome in (wbf_outcome, naive_outcome):
+        metrics = evaluate_retrieval(outcome.retrieved_user_ids, truth)
+        costs = outcome.costs
+        print(
+            f"\n[{outcome.method}] precision={metrics.precision:.3f} "
+            f"recall={metrics.recall:.3f}"
+        )
+        print(
+            f"  communication: {costs.communication_bytes / 1024:.1f} KiB "
+            f"(downlink {costs.downlink_bytes / 1024:.1f}, uplink {costs.uplink_bytes / 1024:.1f})"
+        )
+        print(
+            f"  time: {costs.total_time_s * 1000:.0f} ms "
+            f"(computation {costs.computation_time_s * 1000:.0f} ms, "
+            f"transmission {costs.transmission_time_s * 1000:.0f} ms)"
+        )
+
+    saving = 1 - wbf_outcome.costs.communication_bytes / naive_outcome.costs.communication_bytes
+    print(f"\nDI-matching moved {saving:.0%} fewer bytes than shipping the raw data.")
+
+    print("\ntop recommended subscribers for the campaign:")
+    for entry in wbf_outcome.results.top(10):
+        print(
+            f"  {entry.user_id:<28} score={entry.score:.3f} "
+            f"category={dataset.category_of(entry.user_id)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

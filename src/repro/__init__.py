@@ -1,0 +1,95 @@
+"""repro — reproduction of "Distributed Incomplete Pattern Matching via a Novel
+Weighted Bloom Filter" (Liu, Kang, Chen, Ni; ICDCS 2012).
+
+The package implements the paper's DI-matching framework end to end: the Weighted
+Bloom Filter, the data-center encoder / base-station matcher / similarity ranker
+(Algorithms 1-3), the baseline methods it is compared against, a synthetic
+city-scale mobile-network data substrate, a simulated distributed environment with
+communication/storage/time accounting, and the evaluation harness that regenerates
+every table and figure of the paper.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     DatasetSpec, DIMatchingConfig, build_dataset, build_query_workload, run_dimatching,
+... )
+>>> dataset = build_dataset(DatasetSpec(users_per_category=5, station_count=4))
+>>> workload = build_query_workload(dataset, query_count=3, epsilon=0)
+>>> results = run_dimatching(dataset, list(workload.queries), DIMatchingConfig())
+>>> len(results) > 0
+True
+"""
+
+from repro.core import (
+    BaseStationMatcher,
+    DIMatchingConfig,
+    DIMatchingProtocol,
+    EncodedQueryBatch,
+    MatchingProtocol,
+    MatchReport,
+    PatternEncoder,
+    QueryPattern,
+    RankedResults,
+    RankedUser,
+    SimilarityRanker,
+    WeightedBloomFilter,
+    run_dimatching,
+)
+from repro.baselines import BloomFilterProtocol, LocalOnlyProtocol, NaiveProtocol
+from repro.bloom import BloomFilter
+from repro.datagen import (
+    DatasetSpec,
+    DistributedDataset,
+    QueryWorkload,
+    build_dataset,
+    build_ground_truth_cohort,
+    build_query_workload,
+)
+from repro.distributed import DistributedSimulation, NetworkConfig, SimulationOutcome
+from repro.evaluation import (
+    effectiveness_study,
+    evaluate_retrieval,
+    run_comparison,
+    sweep_query_counts,
+)
+from repro.timeseries import GlobalPattern, LocalPattern, Pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseStationMatcher",
+    "DIMatchingConfig",
+    "DIMatchingProtocol",
+    "EncodedQueryBatch",
+    "MatchingProtocol",
+    "MatchReport",
+    "PatternEncoder",
+    "QueryPattern",
+    "RankedResults",
+    "RankedUser",
+    "SimilarityRanker",
+    "WeightedBloomFilter",
+    "run_dimatching",
+    "BloomFilterProtocol",
+    "LocalOnlyProtocol",
+    "NaiveProtocol",
+    "BloomFilter",
+    "DatasetSpec",
+    "DistributedDataset",
+    "QueryWorkload",
+    "build_dataset",
+    "build_ground_truth_cohort",
+    "build_query_workload",
+    "DistributedSimulation",
+    "NetworkConfig",
+    "SimulationOutcome",
+    "effectiveness_study",
+    "evaluate_retrieval",
+    "run_comparison",
+    "sweep_query_counts",
+    "GlobalPattern",
+    "LocalPattern",
+    "Pattern",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline protocols the paper compares DI-matching against.
+
+* :class:`NaiveProtocol` — Approach 1 (Section III-C): ship every local pattern to
+  the data center and match centrally.  Exact but communication-heavy.
+* :class:`LocalOnlyProtocol` — Approach 2: each station matches locally against the
+  query's global pattern and reports matched ids; cheap but lossy.
+* :class:`BloomFilterProtocol` — DI-matching with a plain (unweighted) Bloom filter,
+  the "BF" curve of Figure 4.
+"""
+
+from repro.baselines.bf_matching import BloomFilterProtocol
+from repro.baselines.local_match import LocalOnlyProtocol
+from repro.baselines.naive import NaiveProtocol
+
+__all__ = ["BloomFilterProtocol", "LocalOnlyProtocol", "NaiveProtocol"]

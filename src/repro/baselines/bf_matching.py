@@ -1,0 +1,73 @@
+"""Plain-Bloom-filter matching (the "BF" curve of Figure 4).
+
+Identical pipeline to DI-matching — pattern representation, combination enumeration,
+sampling and hashing — except that the distributed filter is a plain Bloom filter
+with no weights.  Base stations report any user whose sampled values are all present;
+the data center can neither distinguish global- from local-matches nor apply the
+weight-sum rule, so cross-pattern confusions and over-matching users survive into the
+result, which is what degrades precision as the number of patterns grows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bloom.standard import BloomFilter
+from repro.core.config import DIMatchingConfig
+from repro.core.encoder import PatternEncoder
+from repro.core.exceptions import MatchingError
+from repro.core.matcher import BaseStationMatcher
+from repro.core.protocol import MatchingProtocol, MatchReport, RankedResults, RankedUser
+from repro.timeseries.pattern import PatternSet
+from repro.timeseries.query import QueryPattern
+
+
+class BloomFilterProtocol(MatchingProtocol):
+    """DI-matching with an unweighted Bloom filter instead of the WBF."""
+
+    def __init__(self, config: DIMatchingConfig | None = None) -> None:
+        self._config = config or DIMatchingConfig()
+        self._encoder = PatternEncoder(self._config)
+
+    @property
+    def name(self) -> str:
+        """Protocol name used in evaluation reports."""
+        return "bf"
+
+    @property
+    def config(self) -> DIMatchingConfig:
+        """The shared center/station configuration."""
+        return self._config
+
+    # -- MatchingProtocol interface ---------------------------------------------
+
+    def encode(self, queries: Sequence[QueryPattern]) -> BloomFilter:
+        """Hash the same combined, sampled patterns into a plain Bloom filter."""
+        return self._encoder.encode_batch_plain(queries)
+
+    def station_match(
+        self, station_id: str, patterns: PatternSet, artifact: object | None
+    ) -> list[MatchReport]:
+        """Report every user whose sampled values are all present in the filter."""
+        if not isinstance(artifact, BloomFilter):
+            raise MatchingError(
+                f"station {station_id!r} received {type(artifact).__name__}, "
+                "expected a BloomFilter"
+            )
+        matcher = BaseStationMatcher(self._config, station_id, patterns)
+        return matcher.match_against_plain(artifact)
+
+    def aggregate(self, reports: Sequence[object], k: int | None) -> RankedResults:
+        """Rank users by how many stations reported them (no weights available)."""
+        counts: dict[str, int] = {}
+        for report in reports:
+            if not isinstance(report, MatchReport):
+                raise MatchingError("BF aggregation received non-MatchReport entries")
+            counts[report.user_id] = counts.get(report.user_id, 0) + 1
+        ranked = [
+            RankedUser(user_id=user_id, score=float(count))
+            for user_id, count in counts.items()
+        ]
+        ranked.sort(key=lambda entry: (-entry.score, entry.user_id))
+        results = RankedResults(tuple(ranked))
+        return results if k is None else results.top(k)

@@ -1,0 +1,89 @@
+"""Naive centralised matching (Approach 1, Section III-C).
+
+Every base station ships all of its raw local patterns to the data center; the
+center reconstructs each user's global pattern by summation and applies Eq. (2)
+directly against every query's global pattern.  The result is exact (it is the
+oracle the evaluation measures precision against), but the uplink carries the entire
+distributed dataset, which is precisely the communication bottleneck the paper sets
+out to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.exceptions import MatchingError
+from repro.core.protocol import MatchingProtocol, RankedResults, RankedUser
+from repro.timeseries.pattern import GlobalPattern, LocalPattern, Pattern, PatternSet
+from repro.timeseries.query import QueryPattern
+from repro.timeseries.similarity import chebyshev_distance, pattern_epsilon_similar
+from repro.utils.validation import require_non_negative
+
+
+class NaiveProtocol(MatchingProtocol):
+    """Ship-everything baseline: exact results, maximal communication."""
+
+    def __init__(self, epsilon: float = 0) -> None:
+        require_non_negative(epsilon, "epsilon")
+        self._epsilon = epsilon
+        self._queries: tuple[QueryPattern, ...] = ()
+
+    @property
+    def name(self) -> str:
+        """Protocol name used in evaluation reports."""
+        return "naive"
+
+    @property
+    def epsilon(self) -> float:
+        """The ε of Eq. (2) applied at the data center."""
+        return self._epsilon
+
+    # -- MatchingProtocol interface ---------------------------------------------
+
+    def encode(self, queries: Sequence[QueryPattern]) -> object | None:
+        """The naive method distributes nothing; queries stay at the data center."""
+        self._queries = tuple(queries)
+        return None
+
+    def station_match(
+        self, station_id: str, patterns: PatternSet, artifact: object | None
+    ) -> list[object]:
+        """Each station uploads every raw local pattern it stores."""
+        _ = station_id, artifact
+        return list(patterns)
+
+    def aggregate(self, reports: Sequence[object], k: int | None) -> RankedResults:
+        """Reconstruct global patterns, apply Eq. (2) against every query, rank."""
+        if not self._queries:
+            raise MatchingError("NaiveProtocol.aggregate called before encode")
+        fragments: dict[str, list[LocalPattern]] = {}
+        for report in reports:
+            if not isinstance(report, Pattern):
+                raise MatchingError(
+                    f"naive aggregation expected raw patterns, got {type(report).__name__}"
+                )
+            local = (
+                report
+                if isinstance(report, LocalPattern)
+                else LocalPattern(report.user_id, report.values, station_id="unknown")
+            )
+            fragments.setdefault(report.user_id, []).append(local)
+
+        ranked: list[RankedUser] = []
+        for user_id, locals_ in fragments.items():
+            global_pattern = GlobalPattern.from_locals(locals_)
+            best_distance: float | None = None
+            for query in self._queries:
+                if pattern_epsilon_similar(global_pattern, query.global_pattern, self._epsilon):
+                    distance = chebyshev_distance(
+                        global_pattern.values, query.global_pattern.values
+                    )
+                    if best_distance is None or distance < best_distance:
+                        best_distance = distance
+            if best_distance is not None:
+                ranked.append(
+                    RankedUser(user_id=user_id, score=1.0 / (1.0 + best_distance))
+                )
+        ranked.sort(key=lambda entry: (-entry.score, entry.user_id))
+        results = RankedResults(tuple(ranked))
+        return results if k is None else results.top(k)

@@ -1,0 +1,146 @@
+"""Compact bit array used as the backing store for every Bloom-filter variant.
+
+The paper's reproduction hint suggests the ``bitarray`` package; to keep the library
+dependency-free we implement an equivalent fixed-size bit set on top of a
+``bytearray``.  The class supports the small API the filters need: get/set/clear a
+bit, population count, union/intersection, and serialized size accounting for the
+communication-cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.utils.validation import require_positive
+
+
+class BitArray:
+    """A fixed-length array of bits backed by a ``bytearray``."""
+
+    __slots__ = ("_length", "_buffer")
+
+    def __init__(self, length: int) -> None:
+        require_positive(length, "length")
+        self._length = int(length)
+        self._buffer = bytearray((self._length + 7) // 8)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterator[int] | list[int]) -> "BitArray":
+        """Create a bit array of ``length`` bits with the given indices set."""
+        bits = cls(length)
+        for index in indices:
+            bits.set(index)
+        return bits
+
+    def copy(self) -> "BitArray":
+        """Return a deep copy of this bit array."""
+        clone = BitArray(self._length)
+        clone._buffer[:] = self._buffer
+        return clone
+
+    # -- core bit operations --------------------------------------------------
+
+    def _check_index(self, index: int) -> int:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise TypeError(f"bit index must be an int, got {type(index).__name__}")
+        if index < 0 or index >= self._length:
+            raise IndexError(f"bit index {index} out of range [0, {self._length})")
+        return index
+
+    def get(self, index: int) -> bool:
+        """Return True if the bit at ``index`` is set."""
+        index = self._check_index(index)
+        return bool(self._buffer[index >> 3] & (1 << (index & 7)))
+
+    def set(self, index: int) -> bool:
+        """Set the bit at ``index``; return True if it was previously clear."""
+        index = self._check_index(index)
+        mask = 1 << (index & 7)
+        byte = self._buffer[index >> 3]
+        was_clear = not (byte & mask)
+        self._buffer[index >> 3] = byte | mask
+        return was_clear
+
+    def clear(self, index: int) -> None:
+        """Clear the bit at ``index``."""
+        index = self._check_index(index)
+        self._buffer[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- aggregate operations -------------------------------------------------
+
+    def count(self) -> int:
+        """Return the number of set bits (population count)."""
+        return sum(bin(byte).count("1") for byte in self._buffer)
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield indices of set bits in increasing order."""
+        for byte_index, byte in enumerate(self._buffer):
+            if not byte:
+                continue
+            base = byte_index << 3
+            for bit in range(8):
+                if byte & (1 << bit):
+                    index = base + bit
+                    if index < self._length:
+                        yield index
+
+    def union(self, other: "BitArray") -> "BitArray":
+        """Return a new bit array that is the bitwise OR of self and other."""
+        self._check_compatible(other)
+        result = self.copy()
+        for i, byte in enumerate(other._buffer):
+            result._buffer[i] |= byte
+        return result
+
+    def intersection(self, other: "BitArray") -> "BitArray":
+        """Return a new bit array that is the bitwise AND of self and other."""
+        self._check_compatible(other)
+        result = self.copy()
+        for i, byte in enumerate(other._buffer):
+            result._buffer[i] &= byte
+        return result
+
+    def _check_compatible(self, other: "BitArray") -> None:
+        if not isinstance(other, BitArray):
+            raise TypeError(f"expected BitArray, got {type(other).__name__}")
+        if len(other) != self._length:
+            raise ValueError(
+                f"bit arrays have different lengths: {self._length} vs {len(other)}"
+            )
+
+    def __or__(self, other: "BitArray") -> "BitArray":
+        return self.union(other)
+
+    def __and__(self, other: "BitArray") -> "BitArray":
+        return self.intersection(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._length == other._length and self._buffer == other._buffer
+
+    def __hash__(self) -> int:  # pragma: no cover - BitArray is mutable; not hashable
+        raise TypeError("BitArray is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"BitArray(length={self._length}, set={self.count()})"
+
+    # -- cost accounting ------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Serialized size used by the communication/storage cost model."""
+        return len(self._buffer)

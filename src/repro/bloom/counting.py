@@ -1,0 +1,115 @@
+"""Counting Bloom filter.
+
+Replaces each bit with a small counter so that items can be removed.  DI-matching
+itself uses an immutable filter per query round, but the counting variant is part of
+the substrate because dynamic deployments (continuously evolving query pattern sets,
+Characteristic 2 of the paper) need deletion support; it also serves as an ablation
+point in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bloom.analysis import expected_false_positive_rate
+from repro.bloom.hashing import HashFamily
+from repro.utils.validation import require_positive
+
+
+class CountingBloomFilter:
+    """Bloom filter with per-position counters, supporting removal."""
+
+    def __init__(
+        self,
+        bit_count: int,
+        hash_count: int,
+        seed: int = 0,
+        counter_width_bits: int = 4,
+    ) -> None:
+        require_positive(bit_count, "bit_count")
+        require_positive(hash_count, "hash_count")
+        require_positive(counter_width_bits, "counter_width_bits")
+        self._counters = [0] * int(bit_count)
+        self._hashes = HashFamily(hash_count, bit_count, seed=seed)
+        self._item_count = 0
+        self._counter_max = (1 << counter_width_bits) - 1
+        self._counter_width_bits = counter_width_bits
+
+    @property
+    def bit_count(self) -> int:
+        """Number of counters ``m``."""
+        return len(self._counters)
+
+    @property
+    def hash_count(self) -> int:
+        """Number of hash functions ``k``."""
+        return self._hashes.hash_count
+
+    @property
+    def item_count(self) -> int:
+        """Number of items currently stored (adds minus removes)."""
+        return self._item_count
+
+    def add(self, item: object) -> None:
+        """Insert ``item``; counters saturate at the maximum counter value."""
+        for position in self._hashes.positions(item):
+            if self._counters[position] < self._counter_max:
+                self._counters[position] += 1
+        self._item_count += 1
+
+    def add_many(self, items: Iterable[object]) -> None:
+        """Insert every item of ``items``."""
+        for item in items:
+            self.add(item)
+
+    def remove(self, item: object) -> bool:
+        """Remove one occurrence of ``item``.
+
+        Returns False (and does not modify the filter) if ``item`` is definitely not
+        present.  Removing items that were never added can introduce false negatives,
+        as with any counting Bloom filter; callers are expected to only remove items
+        they previously added.
+        """
+        positions = self._hashes.positions(item)
+        if not all(self._counters[p] > 0 for p in positions):
+            return False
+        for position in positions:
+            if self._counters[position] < self._counter_max:
+                # Saturated counters are never decremented (standard CBF behaviour);
+                # this keeps the no-false-negative guarantee at the cost of residue.
+                self._counters[position] -= 1
+        self._item_count = max(0, self._item_count - 1)
+        return True
+
+    def contains(self, item: object) -> bool:
+        """Return True if ``item`` may be present."""
+        return all(self._counters[p] > 0 for p in self._hashes.positions(item))
+
+    def __contains__(self, item: object) -> bool:
+        return self.contains(item)
+
+    def count_estimate(self, item: object) -> int:
+        """Minimum-counter estimate of how many times ``item`` was added."""
+        return min(self._counters[p] for p in self._hashes.positions(item))
+
+    def fill_ratio(self) -> float:
+        """Fraction of counters that are non-zero."""
+        return sum(1 for c in self._counters if c > 0) / len(self._counters)
+
+    def estimated_false_positive_rate(self) -> float:
+        """Theoretical false-positive probability for the current item count."""
+        return expected_false_positive_rate(
+            bit_count=self.bit_count,
+            hash_count=self.hash_count,
+            item_count=self._item_count,
+        )
+
+    def size_bytes(self) -> int:
+        """Serialized size: ``m`` counters of the configured width."""
+        return (len(self._counters) * self._counter_width_bits + 7) // 8
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(m={self.bit_count}, k={self.hash_count}, "
+            f"items={self._item_count})"
+        )

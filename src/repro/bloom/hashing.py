@@ -1,0 +1,101 @@
+"""Hash-function family shared by all Bloom-filter variants.
+
+The family implements the standard Kirsch–Mitzenmacher double-hashing construction:
+two independent 64-bit base hashes ``h1`` and ``h2`` are derived from the item, and
+the ``i``-th filter hash is ``(h1 + i * h2) mod m``.  This gives ``k`` effectively
+independent hash functions from a single strong hash of the item, which is both fast
+and the construction used in practice by most Bloom-filter libraries.
+
+Items may be integers, strings, bytes, floats, or tuples of those — the encoder in
+:mod:`repro.core.encoder` hashes integer accumulated pattern values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+from repro.utils.validation import require_positive
+
+_MASK_64 = (1 << 64) - 1
+
+
+def canonical_item_bytes(item: object) -> bytes:
+    """Encode a hashable item into a canonical byte string.
+
+    The encoding is type-tagged so that e.g. the integer ``1`` and the string ``"1"``
+    hash differently, and stable across runs and processes.
+    """
+    if isinstance(item, bool):
+        return b"b" + (b"\x01" if item else b"\x00")
+    if isinstance(item, int):
+        return b"i" + str(item).encode("ascii")
+    if isinstance(item, float):
+        return b"f" + struct.pack(">d", item)
+    if isinstance(item, str):
+        return b"s" + item.encode("utf-8")
+    if isinstance(item, (bytes, bytearray)):
+        return b"y" + bytes(item)
+    if isinstance(item, tuple):
+        parts = [canonical_item_bytes(part) for part in item]
+        return b"t" + struct.pack(">I", len(parts)) + b"".join(
+            struct.pack(">I", len(part)) + part for part in parts
+        )
+    raise TypeError(f"cannot hash item of type {type(item).__name__}")
+
+
+class HashFamily:
+    """A seeded family of ``k`` hash functions onto ``[0, m)`` via double hashing."""
+
+    __slots__ = ("_hash_count", "_range", "_seed")
+
+    def __init__(self, hash_count: int, value_range: int, seed: int = 0) -> None:
+        require_positive(hash_count, "hash_count")
+        require_positive(value_range, "value_range")
+        self._hash_count = int(hash_count)
+        self._range = int(value_range)
+        self._seed = int(seed)
+
+    @property
+    def hash_count(self) -> int:
+        """Number of hash functions ``k``."""
+        return self._hash_count
+
+    @property
+    def value_range(self) -> int:
+        """Size of the output range ``m``."""
+        return self._range
+
+    @property
+    def seed(self) -> int:
+        """Seed distinguishing independent families."""
+        return self._seed
+
+    def _base_hashes(self, item: object) -> tuple[int, int]:
+        payload = canonical_item_bytes(item) + b"|" + str(self._seed).encode("ascii")
+        digest = hashlib.sha256(payload).digest()
+        h1 = int.from_bytes(digest[:8], "big") & _MASK_64
+        h2 = int.from_bytes(digest[8:16], "big") & _MASK_64
+        # h2 must be odd so successive probes do not collapse onto a short cycle.
+        h2 |= 1
+        return h1, h2
+
+    def positions(self, item: object) -> list[int]:
+        """Return the ``k`` bit positions for ``item``."""
+        h1, h2 = self._base_hashes(item)
+        return [((h1 + i * h2) & _MASK_64) % self._range for i in range(self._hash_count)]
+
+    def positions_many(self, items: Iterable[object]) -> list[list[int]]:
+        """Return positions for each item in ``items``."""
+        return [self.positions(item) for item in items]
+
+    def with_range(self, value_range: int) -> "HashFamily":
+        """Return a family with the same ``k`` and seed but a different output range."""
+        return HashFamily(self._hash_count, value_range, seed=self._seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashFamily(hash_count={self._hash_count}, "
+            f"value_range={self._range}, seed={self._seed})"
+        )

@@ -1,0 +1,99 @@
+"""Scalable (dynamic) Bloom filter.
+
+Grows by chaining progressively larger plain Bloom filters while keeping the overall
+false-positive probability bounded by a geometric series.  The paper's related-work
+section cites dynamic Bloom filters (Guo et al.); the scalable variant is included in
+the substrate so the evolving-data scenario (Characteristic 2) can be handled without
+re-sizing a filter from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bloom.analysis import optimal_parameters
+from repro.bloom.standard import BloomFilter
+from repro.utils.validation import require_positive, require_probability
+
+
+class ScalableBloomFilter:
+    """A Bloom filter that grows as items are added, keeping FP rate bounded."""
+
+    def __init__(
+        self,
+        initial_capacity: int = 128,
+        target_false_positive_rate: float = 0.01,
+        growth_factor: int = 2,
+        tightening_ratio: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        require_positive(initial_capacity, "initial_capacity")
+        require_probability(target_false_positive_rate, "target_false_positive_rate")
+        if target_false_positive_rate in (0.0, 1.0):
+            raise ValueError("target_false_positive_rate must be strictly between 0 and 1")
+        require_positive(growth_factor, "growth_factor")
+        require_probability(tightening_ratio, "tightening_ratio")
+        if tightening_ratio in (0.0, 1.0):
+            raise ValueError("tightening_ratio must be strictly between 0 and 1")
+        self._initial_capacity = int(initial_capacity)
+        self._target_fp = float(target_false_positive_rate)
+        self._growth_factor = int(growth_factor)
+        self._tightening_ratio = float(tightening_ratio)
+        self._seed = int(seed)
+        self._slices: list[tuple[BloomFilter, int]] = []
+        self._item_count = 0
+        self._add_slice()
+
+    def _add_slice(self) -> None:
+        slice_index = len(self._slices)
+        capacity = self._initial_capacity * (self._growth_factor**slice_index)
+        fp_rate = self._target_fp * (self._tightening_ratio**slice_index)
+        bit_count, hash_count = optimal_parameters(capacity, fp_rate)
+        bloom = BloomFilter(bit_count, hash_count, seed=self._seed + slice_index)
+        self._slices.append((bloom, capacity))
+
+    @property
+    def item_count(self) -> int:
+        """Total number of items added."""
+        return self._item_count
+
+    @property
+    def slice_count(self) -> int:
+        """Number of chained filters currently allocated."""
+        return len(self._slices)
+
+    @property
+    def target_false_positive_rate(self) -> float:
+        """Upper bound on the overall false-positive probability."""
+        return self._target_fp / (1.0 - self._tightening_ratio)
+
+    def add(self, item: object) -> None:
+        """Insert ``item``, growing the filter chain if the active slice is full."""
+        bloom, capacity = self._slices[-1]
+        if bloom.item_count >= capacity:
+            self._add_slice()
+            bloom, capacity = self._slices[-1]
+        bloom.add(item)
+        self._item_count += 1
+
+    def add_many(self, items: Iterable[object]) -> None:
+        """Insert every item of ``items``."""
+        for item in items:
+            self.add(item)
+
+    def contains(self, item: object) -> bool:
+        """Return True if ``item`` may have been added to any slice."""
+        return any(bloom.contains(item) for bloom, _ in self._slices)
+
+    def __contains__(self, item: object) -> bool:
+        return self.contains(item)
+
+    def size_bytes(self) -> int:
+        """Total serialized size across slices."""
+        return sum(bloom.size_bytes() for bloom, _ in self._slices)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScalableBloomFilter(items={self._item_count}, slices={self.slice_count}, "
+            f"target_fp={self.target_false_positive_rate:.4g})"
+        )

@@ -1,0 +1,130 @@
+"""Data-center side similarity ranking (Algorithm 3).
+
+The data center sums the reported weights per user across base stations, deletes
+sums that exceed 1 (the user's aggregated pattern is larger than the query pattern —
+the paper's over-matching case), ranks users by weight sum in descending order and
+returns the top-K.
+
+When the batch contains several query patterns, the sums are formed per
+``(user, query)`` pair — a user's fragments may legitimately relate to more than one
+query pattern, and weights belonging to different queries must not be added together.
+A user's ranking score is then the best surviving per-query sum (1 means a complete
+match of some query's global pattern).
+
+A base station may report more than one consistent weight for the same
+``(user, query)`` when combinations of the query differ by less than ε at every
+sampled point; the ranker resolves the ambiguity by selecting exactly one weight per
+reporting station so as to maximise the sum without exceeding 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.core.exceptions import MatchingError
+from repro.core.protocol import MatchReport, RankedResults, RankedUser
+
+#: Maximum number of per-station weight combinations enumerated exactly; beyond this
+#: the per-station option lists are truncated to their largest entries.
+_MAX_ASSIGNMENT_ENUMERATION = 4096
+#: Maximum options kept per station when truncating.
+_MAX_OPTIONS_PER_STATION = 4
+
+
+class SimilarityRanker:
+    """Implements Algorithm 3: weight aggregation and top-K ranking."""
+
+    def __init__(self, max_weight_sum: Fraction = Fraction(1)) -> None:
+        if not isinstance(max_weight_sum, Fraction):
+            raise TypeError(
+                f"max_weight_sum must be a Fraction, got {type(max_weight_sum).__name__}"
+            )
+        if max_weight_sum <= 0:
+            raise ValueError(f"max_weight_sum must be positive, got {max_weight_sum}")
+        self._max_weight_sum = max_weight_sum
+
+    @property
+    def max_weight_sum(self) -> Fraction:
+        """Per-query weight sums above this bound are discarded (the paper uses 1)."""
+        return self._max_weight_sum
+
+    def weight_options(
+        self, reports: Sequence[MatchReport]
+    ) -> dict[tuple[str, str], dict[str, set[Fraction]]]:
+        """Group reports into ``(user, query) -> station -> candidate weights``."""
+        options: dict[tuple[str, str], dict[str, set[Fraction]]] = {}
+        for report in reports:
+            if report.weight is None:
+                raise MatchingError(
+                    f"report for user {report.user_id!r} carries no weight; "
+                    "SimilarityRanker requires weighted reports"
+                )
+            per_station = options.setdefault((report.user_id, report.query_id), {})
+            per_station.setdefault(report.station_id, set()).add(report.weight)
+        return options
+
+    def best_weight_sum(
+        self, options_by_station: Mapping[str, set[Fraction]]
+    ) -> Fraction | None:
+        """Best achievable weight sum that does not exceed :attr:`max_weight_sum`.
+
+        Exactly one weight is chosen from every reporting station (every reporting
+        fragment is part of the user's data and must be accounted for); the sum is
+        maximised subject to the bound.  ``None`` means every assignment exceeds the
+        bound — the over-matching case Algorithm 3 deletes.
+        """
+        option_lists = [sorted(weights, reverse=True) for weights in options_by_station.values()]
+        combination_count = 1
+        for option_list in option_lists:
+            combination_count *= len(option_list)
+        if combination_count > _MAX_ASSIGNMENT_ENUMERATION:
+            option_lists = [
+                option_list[:_MAX_OPTIONS_PER_STATION] for option_list in option_lists
+            ]
+        best: Fraction | None = None
+        for assignment in product(*option_lists):
+            total = sum(assignment, Fraction(0))
+            if total > self._max_weight_sum:
+                continue
+            if best is None or total > best:
+                best = total
+        return best
+
+    def user_scores(self, reports: Sequence[MatchReport]) -> dict[str, Fraction]:
+        """Best surviving per-query weight sum for every reported user.
+
+        Per-query sums above :attr:`max_weight_sum` are deleted (over-matching); a
+        user with no surviving sum is dropped entirely.
+        """
+        best: dict[str, Fraction] = {}
+        for (user_id, _query_id), per_station in self.weight_options(reports).items():
+            weight_sum = self.best_weight_sum(per_station)
+            if weight_sum is None:
+                continue
+            current = best.get(user_id)
+            if current is None or weight_sum > current:
+                best[user_id] = weight_sum
+        return best
+
+    def aggregate(
+        self, reports: Sequence[MatchReport], k: int | None = None
+    ) -> RankedResults:
+        """Aggregate reports into the ranked top-K result.
+
+        ``k=None`` returns every surviving user (sorted); otherwise the first ``k``.
+        Ties are broken by user id so results are deterministic.
+        """
+        scores = self.user_scores(reports)
+        ordered = sorted(scores.items(), key=lambda entry: (-entry[1], entry[0]))
+        ranked = tuple(
+            RankedUser(user_id=user_id, score=float(weight_sum))
+            for user_id, weight_sum in ordered
+        )
+        results = RankedResults(ranked)
+        if k is None:
+            return results
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return results.top(k)

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the DI-matching library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class EncodingError(ReproError):
+    """Raised when a query pattern set cannot be encoded into a filter."""
+
+
+class MatchingError(ReproError):
+    """Raised when base-station matching or aggregation receives invalid inputs."""

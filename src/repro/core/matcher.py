@@ -1,0 +1,163 @@
+"""Base-station side pattern matching (Algorithm 2).
+
+Each base station transforms every locally stored pattern into accumulated form,
+samples the same ``b`` time indices the encoder used, probes the received filter with
+each sampled value and reports a user only if
+
+* every sampled value hits all-1 bits, **and**
+* all sampled values agree on (at least) one common weight.
+
+The reported weight is that common weight — the fraction of the query's global
+pattern the matched fragment accounts for.  The per-pattern cost is ``O(b·k)`` bit
+probes, matching the paper's complexity analysis.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.bloom.standard import BloomFilter
+from repro.core.config import DIMatchingConfig
+from repro.core.encoder import EncodedQueryBatch, PatternEncoder
+from repro.core.exceptions import MatchingError
+from repro.core.protocol import MatchReport
+from repro.core.wbf import WeightedBloomFilter
+from repro.timeseries.pattern import Pattern, PatternSet
+from repro.timeseries.transform import accumulate
+
+
+class BaseStationMatcher:
+    """Implements the base-station side of DI-matching for one station."""
+
+    def __init__(
+        self,
+        config: DIMatchingConfig,
+        station_id: str,
+        patterns: PatternSet,
+    ) -> None:
+        self._config = config
+        self._station_id = str(station_id)
+        self._patterns = patterns
+        self._encoder = PatternEncoder(config)
+        # Candidate probe items are query-independent: accumulated + sampled once.
+        self._candidate_items: list[tuple[str, list[object]]] = []
+        for pattern in patterns:
+            encoded_values = (
+                accumulate(pattern.values) if config.use_accumulation else list(pattern.values)
+            )
+            items = self._encoder.items_for_accumulated(encoded_values)
+            self._candidate_items.append((pattern.user_id, items))
+        # Bit positions depend only on (m, k, seed); cache them per item for reuse
+        # across all candidates sharing a value (e.g. zero-activity intervals).
+        self._position_cache: dict[object, list[int]] = {}
+        self._cached_for: tuple[int, int, int] | None = None
+
+    @property
+    def station_id(self) -> str:
+        """Identifier of the station this matcher runs at."""
+        return self._station_id
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of locally stored patterns."""
+        return len(self._candidate_items)
+
+    # -- position caching ---------------------------------------------------------
+
+    def _positions_for(self, item: object, filter_: WeightedBloomFilter | BloomFilter) -> list[int]:
+        family = filter_.hash_family
+        signature = (family.value_range, family.hash_count, family.seed)
+        if self._cached_for != signature:
+            self._position_cache = {}
+            self._cached_for = signature
+        positions = self._position_cache.get(item)
+        if positions is None:
+            positions = family.positions(item)
+            self._position_cache[item] = positions
+        return positions
+
+    # -- weighted matching (Algorithm 2) --------------------------------------------
+
+    def match_pattern(
+        self, pattern: Pattern, wbf: WeightedBloomFilter
+    ) -> dict[str, frozenset[Fraction]]:
+        """Match a single pattern against a WBF.
+
+        Returns a mapping ``query_id -> consistent weights``: one entry per query
+        pattern the local pattern is consistent with (empty when nothing matches).
+        A set usually holds a single weight; it holds several when combinations of
+        the same query differ by less than ε at every sampled point and are therefore
+        indistinguishable through the filter — the data center resolves that
+        ambiguity during aggregation.
+        """
+        encoded_values = (
+            accumulate(pattern.values)
+            if self._config.use_accumulation
+            else list(pattern.values)
+        )
+        items = self._encoder.items_for_accumulated(encoded_values)
+        return self._match_items(items, wbf)
+
+    def _match_items(
+        self, items: list[object], wbf: WeightedBloomFilter
+    ) -> dict[str, frozenset[Fraction]]:
+        common: set[tuple[str, Fraction]] | None = None
+        for item in items:
+            weights = wbf.query_weights_at(self._positions_for(item, wbf))
+            if not weights:
+                return {}
+            common = set(weights) if common is None else (common & weights)
+            if not common:
+                return {}
+        if not common:
+            return {}
+        grouped: dict[str, set[Fraction]] = {}
+        for query_id, weight in common:
+            grouped.setdefault(query_id, set()).add(weight)
+        return {query_id: frozenset(weights) for query_id, weights in grouped.items()}
+
+    def match_against(self, encoded: EncodedQueryBatch) -> list[MatchReport]:
+        """Match every locally stored pattern against the received WBF.
+
+        One report is emitted per (user, query, consistent weight); the similarity
+        ranker later selects one weight per reporting station when summing.
+        """
+        if encoded.config.sample_count != self._config.sample_count:
+            raise MatchingError(
+                "encoder and matcher sample counts differ "
+                f"({encoded.config.sample_count} vs {self._config.sample_count}); "
+                "center and stations must share the configuration"
+            )
+        reports: list[MatchReport] = []
+        for user_id, items in self._candidate_items:
+            matched = self._match_items(items, encoded.wbf)
+            for query_id, weights in matched.items():
+                for weight in weights:
+                    reports.append(
+                        MatchReport(
+                            user_id=user_id,
+                            station_id=self._station_id,
+                            weight=weight,
+                            query_id=query_id,
+                        )
+                    )
+        return reports
+
+    # -- membership-only matching (plain BF baseline) ---------------------------------
+
+    def match_against_plain(self, bloom: BloomFilter) -> list[MatchReport]:
+        """Match every locally stored pattern against a plain Bloom filter.
+
+        Used by the BF baseline: a pattern is reported when all its sampled values
+        are (possibly falsely) present; no weight is available.
+        """
+        reports: list[MatchReport] = []
+        for user_id, items in self._candidate_items:
+            if all(
+                all(bloom.bits.get(p) for p in self._positions_for(item, bloom))
+                for item in items
+            ):
+                reports.append(
+                    MatchReport(user_id=user_id, station_id=self._station_id, weight=None)
+                )
+        return reports

@@ -1,0 +1,103 @@
+"""Common interface shared by DI-matching and the baseline protocols.
+
+Every matching method is expressed as three phases matching the paper's Figure 2:
+
+1. ``encode`` — at the data center, turn the query batch into an artifact to
+   distribute (a WBF, a plain BF, or nothing for the naive method);
+2. ``station_match`` — at each base station, produce the reports to send back
+   (matched ``(id, weight)`` pairs, matched ids, or the raw local patterns);
+3. ``aggregate`` — at the data center, combine all reports into a ranked top-K.
+
+The :class:`repro.distributed.simulator.DistributedSimulation` drives any protocol
+through these phases while accounting for communication, storage and time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.timeseries.pattern import PatternSet
+from repro.timeseries.query import QueryPattern
+from repro.utils.serialization import sizeof_float, sizeof_id
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """A base station's report for one matched user.
+
+    ``weight`` is the matched pattern weight for DI-matching, or ``None`` for
+    weight-less protocols (the plain-BF baseline).  ``query_id`` qualifies the weight
+    by the query pattern set it was read from; it is empty for single-query use and
+    for weight-less reports.
+    """
+
+    user_id: str
+    station_id: str
+    weight: Fraction | None = None
+    query_id: str = ""
+
+    def size_bytes(self) -> int:
+        """Uplink size: the user id plus (if present) one weight value and its query id."""
+        size = sizeof_id()
+        if self.weight is not None:
+            size += sizeof_float()
+        if self.query_id:
+            size += sizeof_id()
+        return size
+
+
+@dataclass(frozen=True)
+class RankedUser:
+    """One entry of a ranked result list."""
+
+    user_id: str
+    score: float
+
+
+@dataclass(frozen=True)
+class RankedResults:
+    """An ordered (descending score) list of retrieved users."""
+
+    users: tuple[RankedUser, ...]
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def user_ids(self) -> list[str]:
+        """Retrieved user ids in rank order."""
+        return [entry.user_id for entry in self.users]
+
+    def top(self, k: int) -> "RankedResults":
+        """The first ``k`` entries."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return RankedResults(self.users[:k])
+
+
+class MatchingProtocol(ABC):
+    """A distributed pattern-matching method expressed as encode / match / aggregate."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short method name used in reports ("wbf", "bf", "naive", ...)."""
+
+    @abstractmethod
+    def encode(self, queries: Sequence[QueryPattern]) -> object | None:
+        """Build the artifact the data center distributes to every base station."""
+
+    @abstractmethod
+    def station_match(
+        self, station_id: str, patterns: PatternSet, artifact: object | None
+    ) -> list[object]:
+        """Run the per-station phase and return the reports to send to the center."""
+
+    @abstractmethod
+    def aggregate(self, reports: Sequence[object], k: int | None) -> RankedResults:
+        """Combine all stations' reports into the final ranked top-K result."""

@@ -1,0 +1,117 @@
+"""Continuous (incremental) matching for dynamically evolving station data.
+
+The paper's Characteristic 2 and running example call for *online, near-real-time*
+monitoring: communication data keep arriving at base stations, and the data center
+wants the current top-K without recomputing everything from scratch.  Because the
+per-station phase of any :class:`~repro.core.protocol.MatchingProtocol` depends only
+on that station's own data and the (fixed) encoded query batch, the session below
+caches per-station reports and recomputes only the stations whose data changed,
+re-running only the cheap aggregation step to refresh the ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.protocol import MatchingProtocol, RankedResults
+from repro.timeseries.pattern import PatternSet
+from repro.timeseries.query import QueryPattern
+from repro.utils.validation import require_non_empty
+
+
+class ContinuousMatchingSession:
+    """Incrementally maintained matching round for one query batch.
+
+    The session encodes the query batch once, then accepts per-station data updates
+    (replacing that station's stored pattern set) and serves the current ranked
+    results on demand.  Only updated stations are re-matched; aggregation runs over
+    the cached reports of every station.
+    """
+
+    def __init__(self, protocol: MatchingProtocol, queries: Sequence[QueryPattern]) -> None:
+        if not isinstance(protocol, MatchingProtocol):
+            raise TypeError(
+                f"protocol must be a MatchingProtocol, got {type(protocol).__name__}"
+            )
+        require_non_empty(queries, "queries")
+        self._protocol = protocol
+        self._queries = tuple(queries)
+        self._artifact = protocol.encode(list(queries))
+        self._reports_by_station: dict[str, list[object]] = {}
+        self._update_count = 0
+        self._matching_runs = 0
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def protocol(self) -> MatchingProtocol:
+        """The matching protocol driven by this session."""
+        return self._protocol
+
+    @property
+    def queries(self) -> tuple[QueryPattern, ...]:
+        """The (fixed) query batch this session answers."""
+        return self._queries
+
+    @property
+    def artifact(self) -> object | None:
+        """The encoded artifact distributed to stations (e.g. the WBF)."""
+        return self._artifact
+
+    @property
+    def station_ids(self) -> list[str]:
+        """Stations that have reported data so far."""
+        return list(self._reports_by_station)
+
+    @property
+    def update_count(self) -> int:
+        """Number of station updates applied."""
+        return self._update_count
+
+    @property
+    def matching_runs(self) -> int:
+        """Number of per-station matching executions performed (cache misses)."""
+        return self._matching_runs
+
+    # -- updates ---------------------------------------------------------------
+
+    def update_station(self, station_id: str, patterns: PatternSet) -> int:
+        """Replace ``station_id``'s stored patterns and re-run its matching phase.
+
+        Returns the number of reports the station now contributes.  Stations not
+        updated keep their cached reports, so a burst of updates at one cell does not
+        trigger re-matching anywhere else.
+        """
+        if not isinstance(patterns, PatternSet):
+            raise TypeError(f"patterns must be a PatternSet, got {type(patterns).__name__}")
+        reports = self._protocol.station_match(station_id, patterns, self._artifact)
+        self._reports_by_station[str(station_id)] = list(reports)
+        self._update_count += 1
+        self._matching_runs += 1
+        return len(reports)
+
+    def remove_station(self, station_id: str) -> None:
+        """Drop a station's cached reports (e.g. the station went offline)."""
+        self._reports_by_station.pop(str(station_id), None)
+        self._update_count += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def pending_reports(self) -> list[object]:
+        """All cached reports across stations, in station-update order."""
+        return [
+            report
+            for reports in self._reports_by_station.values()
+            for report in reports
+        ]
+
+    def current_results(self, k: int | None = None) -> RankedResults:
+        """Aggregate the cached reports into the current ranked top-K."""
+        return self._protocol.aggregate(self.pending_reports(), k)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousMatchingSession(protocol={self._protocol.name!r}, "
+            f"queries={len(self._queries)}, stations={len(self._reports_by_station)}, "
+            f"updates={self._update_count})"
+        )

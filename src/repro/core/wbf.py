@@ -1,0 +1,168 @@
+"""Weighted Bloom Filter (WBF) — the paper's novel data structure.
+
+A WBF is a Bloom filter in which every set bit additionally carries the weights of
+the values hashed onto it ("each bit with 1 ... has a pointer pointing to the weight
+of corresponding hashed values", Section II-B).  Insertion attaches the inserted
+value's weight to each of its ``k`` bits; a *weighted query* returns the set of
+weights consistent with **all** ``k`` bits of the probed value — empty if any bit is
+0, or if the bits are 1 but share no common weight (which is how the WBF suppresses
+the cross-pattern false positives a plain Bloom filter accepts).
+
+The structure is agnostic to the weight type: any hashable value can be attached.
+DI-matching uses exact :class:`fractions.Fraction` weights qualified by the query
+they belong to (``(query_id, Fraction)`` tuples) so that the aggregation rule of
+Algorithm 3 ("delete IDs whose weight sum exceeds 1") can test equality without
+floating-point tolerance and without mixing weights across unrelated query patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.bloom.analysis import expected_false_positive_rate
+from repro.bloom.bitset import BitArray
+from repro.bloom.hashing import HashFamily
+from repro.utils.serialization import FLOAT_BYTES
+from repro.utils.validation import require_positive
+
+
+class WeightedBloomFilter:
+    """Bloom filter whose set bits carry the weights of the values that set them."""
+
+    def __init__(self, bit_count: int, hash_count: int, seed: int = 0) -> None:
+        require_positive(bit_count, "bit_count")
+        require_positive(hash_count, "hash_count")
+        self._bits = BitArray(bit_count)
+        self._hashes = HashFamily(hash_count, bit_count, seed=seed)
+        # Sparse map: bit index -> set of weights attached to that bit.
+        self._weights: dict[int, set[Hashable]] = {}
+        self._item_count = 0
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def bit_count(self) -> int:
+        """Filter length ``m`` in bits."""
+        return len(self._bits)
+
+    @property
+    def hash_count(self) -> int:
+        """Number of hash functions ``k``."""
+        return self._hashes.hash_count
+
+    @property
+    def seed(self) -> int:
+        """Seed of the hash family (shared between center and stations)."""
+        return self._hashes.seed
+
+    @property
+    def item_count(self) -> int:
+        """Number of (value, weight) insertions performed."""
+        return self._item_count
+
+    @property
+    def hash_family(self) -> HashFamily:
+        """The hash family used by this filter."""
+        return self._hashes
+
+    # -- insertion ---------------------------------------------------------------
+
+    def add(self, item: object, weight: Hashable) -> None:
+        """Insert ``item`` and attach ``weight`` to each of its bits."""
+        try:
+            hash(weight)
+        except TypeError as error:
+            raise TypeError(
+                f"weight must be hashable, got {type(weight).__name__}"
+            ) from error
+        for position in self._hashes.positions(item):
+            self._bits.set(position)
+            self._weights.setdefault(position, set()).add(weight)
+        self._item_count += 1
+
+    def add_many(self, items: Iterable[object], weight: Hashable) -> None:
+        """Insert every item of ``items`` with the same ``weight``."""
+        for item in items:
+            self.add(item, weight)
+
+    # -- queries -----------------------------------------------------------------
+
+    def contains(self, item: object) -> bool:
+        """Plain membership query, ignoring weights (no false negatives)."""
+        return all(self._bits.get(position) for position in self._hashes.positions(item))
+
+    def __contains__(self, item: object) -> bool:
+        return self.contains(item)
+
+    def query_weights(self, item: object) -> frozenset:
+        """Return the weights consistent with every bit of ``item``.
+
+        The result is the intersection of the weight sets attached to the ``k`` bit
+        positions of ``item``; it is empty when any bit is 0 **or** when the bits are
+        set but were set by values of differing weights (Algorithm 2's rejection
+        condition).
+        """
+        return self.query_weights_at(self._hashes.positions(item))
+
+    def query_weights_at(self, positions: Iterable[int]) -> frozenset:
+        """Same as :meth:`query_weights` but for precomputed bit positions.
+
+        Base stations probing one filter with many candidate patterns precompute the
+        positions once per candidate (they depend only on ``m``, ``k`` and the seed)
+        and reuse them; this method is the fast path for that case.
+        """
+        common: set[Hashable] | None = None
+        for position in positions:
+            if not self._bits.get(position):
+                return frozenset()
+            attached = self._weights.get(position, set())
+            common = set(attached) if common is None else (common & attached)
+            if not common:
+                return frozenset()
+        return frozenset(common if common is not None else ())
+
+    # -- introspection -------------------------------------------------------------
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set."""
+        return self._bits.count() / len(self._bits)
+
+    def estimated_false_positive_rate(self) -> float:
+        """False-positive probability of the underlying (unweighted) membership test."""
+        return expected_false_positive_rate(
+            bit_count=self.bit_count,
+            hash_count=self.hash_count,
+            item_count=self._item_count,
+        )
+
+    def distinct_weights(self) -> set:
+        """All distinct weights stored anywhere in the filter."""
+        result: set[Hashable] = set()
+        for attached in self._weights.values():
+            result |= attached
+        return result
+
+    def size_bytes(self) -> int:
+        """Serialized size charged when the WBF is distributed to base stations.
+
+        The wire format is the bit array, a table of the distinct weights (8 bytes
+        each — weights are repeated across many bits, so they are stored once), and a
+        2-byte table index per (set bit, weight) pointer.  This is what makes the WBF
+        marginally larger than a plain Bloom filter of the same length — the storage
+        trade-off discussed with Figure 4(d).
+        """
+        weight_pointer_bytes = 2
+        pointer_entries = sum(len(attached) for attached in self._weights.values())
+        distinct = len(self.distinct_weights())
+        return (
+            self._bits.size_bytes()
+            + distinct * FLOAT_BYTES
+            + pointer_entries * weight_pointer_bytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedBloomFilter(m={self.bit_count}, k={self.hash_count}, "
+            f"items={self._item_count}, fill={self.fill_ratio():.3f}, "
+            f"weights={len(self.distinct_weights())})"
+        )

@@ -1,0 +1,57 @@
+"""Synthetic city-scale mobile-network data generation.
+
+The paper evaluates on a proprietary 1 TB CDR/CDL dataset (3.6 M users, 5120 base
+stations, one year).  This package is the substitution: a deterministic synthetic
+generator that reproduces the structural properties the algorithms rely on —
+occupation categories with periodic diurnal profiles (Fig. 1a), per-user mobility
+across a small set of base stations, and the resulting *incomplete* per-station local
+patterns whose per-interval sums form the global pattern.
+"""
+
+from repro.datagen.categories import (
+    CategoryProfile,
+    PlaceSlot,
+    default_categories,
+    get_category,
+)
+from repro.datagen.cdr import (
+    CallDetailRecord,
+    CellDetailListEntry,
+    aggregate_records_to_attributes,
+)
+from repro.datagen.city import BaseStationSite, CityGrid
+from repro.datagen.generator import SyntheticCdrGenerator, generate_user_interval_values
+from repro.datagen.ground_truth import GroundTruthCohort, build_ground_truth_cohort
+from repro.datagen.mobility import UserMobility, assign_mobility
+from repro.datagen.workload import (
+    DatasetSpec,
+    DistributedDataset,
+    QueryWorkload,
+    UserProfile,
+    build_dataset,
+    build_query_workload,
+)
+
+__all__ = [
+    "CategoryProfile",
+    "PlaceSlot",
+    "default_categories",
+    "get_category",
+    "CallDetailRecord",
+    "CellDetailListEntry",
+    "aggregate_records_to_attributes",
+    "BaseStationSite",
+    "CityGrid",
+    "SyntheticCdrGenerator",
+    "generate_user_interval_values",
+    "GroundTruthCohort",
+    "build_ground_truth_cohort",
+    "UserMobility",
+    "assign_mobility",
+    "DatasetSpec",
+    "DistributedDataset",
+    "QueryWorkload",
+    "UserProfile",
+    "build_dataset",
+    "build_query_workload",
+]

@@ -1,0 +1,170 @@
+"""Occupation categories with diurnal communication and mobility profiles.
+
+The paper groups its 310-person ground-truth cohort into six occupation-based
+categories whose communication patterns are periodic (daily) and mutually divisible
+(Fig. 1a).  Each synthetic category defines:
+
+* an hourly *activity level* (0..1) modulating communication intensity over a day;
+* base intensities for the three attributes of Definition 1 (calls, duration,
+  partners) at full activity;
+* an hourly *place schedule* (home / work / other) that drives which base station
+  records the activity, producing the incomplete per-station local patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.utils.validation import require_non_negative
+
+HOURS_PER_DAY = 24
+
+
+class PlaceSlot(str, Enum):
+    """Abstract place a user occupies during an hour; mapped to a concrete station per user."""
+
+    HOME = "home"
+    WORK = "work"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """A population category with its diurnal activity and mobility schedule."""
+
+    name: str
+    description: str
+    hourly_activity: tuple[float, ...]
+    place_schedule: tuple[PlaceSlot, ...]
+    base_call_count: int
+    base_call_duration: int
+    base_partner_count: int
+
+    def __post_init__(self) -> None:
+        if len(self.hourly_activity) != HOURS_PER_DAY:
+            raise ValueError(
+                f"hourly_activity must have {HOURS_PER_DAY} entries, "
+                f"got {len(self.hourly_activity)}"
+            )
+        if len(self.place_schedule) != HOURS_PER_DAY:
+            raise ValueError(
+                f"place_schedule must have {HOURS_PER_DAY} entries, "
+                f"got {len(self.place_schedule)}"
+            )
+        for hour, level in enumerate(self.hourly_activity):
+            if not 0.0 <= level <= 1.0:
+                raise ValueError(
+                    f"hourly_activity[{hour}] must be in [0, 1], got {level!r}"
+                )
+        require_non_negative(self.base_call_count, "base_call_count")
+        require_non_negative(self.base_call_duration, "base_call_duration")
+        require_non_negative(self.base_partner_count, "base_partner_count")
+
+    def activity_at(self, hour_of_day: int) -> float:
+        """Activity level (0..1) for the given hour of day."""
+        return self.hourly_activity[hour_of_day % HOURS_PER_DAY]
+
+    def place_at(self, hour_of_day: int) -> PlaceSlot:
+        """Place slot occupied during the given hour of day."""
+        return self.place_schedule[hour_of_day % HOURS_PER_DAY]
+
+
+def _schedule(home_hours: Sequence[int], work_hours: Sequence[int]) -> tuple[PlaceSlot, ...]:
+    """Build a 24-hour place schedule; hours in neither set map to OTHER."""
+    slots = []
+    home, work = set(home_hours), set(work_hours)
+    for hour in range(HOURS_PER_DAY):
+        if hour in work:
+            slots.append(PlaceSlot.WORK)
+        elif hour in home:
+            slots.append(PlaceSlot.HOME)
+        else:
+            slots.append(PlaceSlot.OTHER)
+    return tuple(slots)
+
+
+def _activity(peaks: dict[int, float], base: float = 0.05) -> tuple[float, ...]:
+    """Build a 24-hour activity curve from explicit peak hours on a low baseline."""
+    return tuple(max(base, peaks.get(hour, base)) for hour in range(HOURS_PER_DAY))
+
+
+def default_categories() -> list[CategoryProfile]:
+    """The six synthetic occupation categories used throughout the reproduction."""
+    office_worker = CategoryProfile(
+        name="office_worker",
+        description="9-to-6 office staff; communication peaks mid-morning and late afternoon.",
+        hourly_activity=_activity(
+            {8: 0.4, 9: 0.8, 10: 0.9, 11: 0.7, 12: 0.5, 14: 0.7, 15: 0.8, 16: 0.9, 17: 0.8, 18: 0.5, 20: 0.3, 21: 0.2}
+        ),
+        place_schedule=_schedule(home_hours=range(0, 8), work_hours=range(9, 18)),
+        base_call_count=12,
+        base_call_duration=28,
+        base_partner_count=8,
+    )
+    student = CategoryProfile(
+        name="student",
+        description="University student; light daytime use, heavy evening use.",
+        hourly_activity=_activity(
+            {10: 0.3, 12: 0.5, 16: 0.4, 18: 0.6, 19: 0.8, 20: 0.9, 21: 0.9, 22: 0.7, 23: 0.4}
+        ),
+        place_schedule=_schedule(home_hours=list(range(0, 8)) + [22, 23], work_hours=range(9, 17)),
+        base_call_count=8,
+        base_call_duration=40,
+        base_partner_count=6,
+    )
+    night_shift = CategoryProfile(
+        name="night_shift",
+        description="Night-shift worker; activity inverted relative to office workers.",
+        hourly_activity=_activity(
+            {0: 0.6, 1: 0.7, 2: 0.7, 3: 0.6, 4: 0.5, 5: 0.4, 14: 0.3, 15: 0.4, 16: 0.5, 17: 0.4}
+        ),
+        place_schedule=_schedule(home_hours=range(8, 16), work_hours=list(range(0, 7)) + [22, 23]),
+        base_call_count=6,
+        base_call_duration=16,
+        base_partner_count=4,
+    )
+    retiree = CategoryProfile(
+        name="retiree",
+        description="Retired; modest, evenly spread daytime communication, stays near home.",
+        hourly_activity=_activity(
+            {9: 0.4, 10: 0.5, 11: 0.4, 15: 0.4, 16: 0.5, 17: 0.4, 19: 0.3}
+        ),
+        place_schedule=_schedule(home_hours=list(range(0, 9)) + list(range(12, 15)) + list(range(18, 24)), work_hours=[]),
+        base_call_count=4,
+        base_call_duration=20,
+        base_partner_count=4,
+    )
+    field_sales = CategoryProfile(
+        name="field_sales",
+        description="Travelling salesperson; very heavy all-day communication across many cells.",
+        hourly_activity=_activity(
+            {8: 0.6, 9: 0.9, 10: 1.0, 11: 0.9, 12: 0.7, 13: 0.8, 14: 0.9, 15: 1.0, 16: 0.9, 17: 0.8, 18: 0.6, 19: 0.4}
+        ),
+        place_schedule=_schedule(home_hours=range(0, 7), work_hours=[9, 10, 14, 15, 16]),
+        base_call_count=20,
+        base_call_duration=24,
+        base_partner_count=16,
+    )
+    service_worker = CategoryProfile(
+        name="service_worker",
+        description="Retail/service staff; moderate use with an evening peak, split shifts.",
+        hourly_activity=_activity(
+            {7: 0.3, 11: 0.4, 12: 0.5, 13: 0.4, 17: 0.5, 18: 0.6, 19: 0.7, 20: 0.6, 21: 0.4}
+        ),
+        place_schedule=_schedule(home_hours=list(range(0, 7)) + [23], work_hours=list(range(10, 14)) + list(range(17, 22))),
+        base_call_count=10,
+        base_call_duration=18,
+        base_partner_count=8,
+    )
+    return [office_worker, student, night_shift, retiree, field_sales, service_worker]
+
+
+def get_category(name: str) -> CategoryProfile:
+    """Look up one of the default categories by name."""
+    for category in default_categories():
+        if category.name == name:
+            return category
+    known = ", ".join(c.name for c in default_categories())
+    raise KeyError(f"unknown category {name!r}; known categories: {known}")

@@ -1,0 +1,83 @@
+"""City model: a grid of base-station sites covering a rectangular area.
+
+The paper's city covers roughly 8700 km² with 5120 base stations.  The synthetic
+city is a scaled-down regular grid; what matters for the algorithms is only that
+there are multiple stations and that users attach to different stations at different
+hours, which the mobility model provides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class BaseStationSite:
+    """A base-station cell site with an identifier and planar coordinates (km)."""
+
+    station_id: str
+    x_km: float
+    y_km: float
+
+    def distance_to(self, x_km: float, y_km: float) -> float:
+        """Euclidean distance from this site to a point, in km."""
+        return math.hypot(self.x_km - x_km, self.y_km - y_km)
+
+
+class CityGrid:
+    """A rectangular city covered by a regular grid of base stations."""
+
+    def __init__(self, width_km: float = 30.0, height_km: float = 30.0, station_spacing_km: float = 10.0) -> None:
+        require_positive(width_km, "width_km")
+        require_positive(height_km, "height_km")
+        require_positive(station_spacing_km, "station_spacing_km")
+        self.width_km = float(width_km)
+        self.height_km = float(height_km)
+        self.station_spacing_km = float(station_spacing_km)
+        self._sites: list[BaseStationSite] = []
+        columns = max(1, int(round(width_km / station_spacing_km)))
+        rows = max(1, int(round(height_km / station_spacing_km)))
+        for row in range(rows):
+            for column in range(columns):
+                station_id = f"bs-{row:03d}-{column:03d}"
+                x = (column + 0.5) * width_km / columns
+                y = (row + 0.5) * height_km / rows
+                self._sites.append(BaseStationSite(station_id, x, y))
+
+    @property
+    def sites(self) -> list[BaseStationSite]:
+        """All base-station sites in row-major order."""
+        return list(self._sites)
+
+    @property
+    def station_ids(self) -> list[str]:
+        """All station identifiers in row-major order."""
+        return [site.station_id for site in self._sites]
+
+    @property
+    def area_km2(self) -> float:
+        """City area in square kilometres."""
+        return self.width_km * self.height_km
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def site(self, station_id: str) -> BaseStationSite:
+        """Return the site with the given id."""
+        for candidate in self._sites:
+            if candidate.station_id == station_id:
+                return candidate
+        raise KeyError(f"unknown station id {station_id!r}")
+
+    def nearest_station(self, x_km: float, y_km: float) -> BaseStationSite:
+        """Return the site closest to the given point."""
+        return min(self._sites, key=lambda site: site.distance_to(x_km, y_km))
+
+    def __repr__(self) -> str:
+        return (
+            f"CityGrid(area={self.area_km2:.0f} km2, stations={len(self._sites)}, "
+            f"spacing={self.station_spacing_km} km)"
+        )

@@ -1,0 +1,29 @@
+"""Simulated distributed mobile environment.
+
+Models the paper's deployment: one data-center node and ``l`` base-station nodes
+connected by bandwidth-limited links.  The simulator drives any
+:class:`~repro.core.protocol.MatchingProtocol` through its encode → station-match →
+aggregate phases while accounting for communication volume, storage and time, which
+is exactly what Figure 4 reports.
+"""
+
+from repro.distributed.basestation import BaseStationNode
+from repro.distributed.datacenter import DataCenterNode
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.metrics import CostReport
+from repro.distributed.network import NetworkConfig, SimulatedNetwork
+from repro.distributed.node import Node
+from repro.distributed.simulator import DistributedSimulation, SimulationOutcome
+
+__all__ = [
+    "BaseStationNode",
+    "DataCenterNode",
+    "Message",
+    "MessageKind",
+    "CostReport",
+    "NetworkConfig",
+    "SimulatedNetwork",
+    "Node",
+    "DistributedSimulation",
+    "SimulationOutcome",
+]

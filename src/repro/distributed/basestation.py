@@ -1,0 +1,35 @@
+"""Base-station node: stores local patterns and runs the per-station matching phase."""
+
+from __future__ import annotations
+
+from repro.core.protocol import MatchingProtocol
+from repro.distributed.node import Node
+from repro.timeseries.pattern import PatternSet
+
+
+class BaseStationNode(Node):
+    """A base station holding the local patterns of the users it served."""
+
+    def __init__(self, station_id: str, patterns: PatternSet) -> None:
+        super().__init__(station_id)
+        if not isinstance(patterns, PatternSet):
+            raise TypeError(f"patterns must be a PatternSet, got {type(patterns).__name__}")
+        self._patterns = patterns
+
+    @property
+    def patterns(self) -> PatternSet:
+        """The locally stored patterns."""
+        return self._patterns
+
+    @property
+    def stored_pattern_count(self) -> int:
+        """Number of local patterns stored at this station."""
+        return len(self._patterns)
+
+    def raw_storage_bytes(self) -> int:
+        """Serialized size of the raw local patterns (baseline station storage)."""
+        return self._patterns.size_bytes()
+
+    def run_matching(self, protocol: MatchingProtocol, artifact: object | None) -> list[object]:
+        """Execute the protocol's per-station phase against the local patterns."""
+        return protocol.station_match(self.node_id, self._patterns, artifact)

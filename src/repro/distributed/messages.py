@@ -1,0 +1,43 @@
+"""Messages exchanged between the data center and base stations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.serialization import MESSAGE_OVERHEAD_BYTES, estimate_size_bytes
+
+
+class MessageKind(str, Enum):
+    """The message types used by the matching protocols."""
+
+    #: Data center -> station: the encoded filter (or raw queries) to match against.
+    FILTER_DISSEMINATION = "filter_dissemination"
+    #: Station -> data center: matched (id, weight) reports or raw pattern uploads.
+    MATCH_REPORT = "match_report"
+    #: Control traffic (e.g. the naive method's "upload everything" trigger).
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message with explicit sender, recipient, kind and payload."""
+
+    sender: str
+    recipient: str
+    kind: MessageKind
+    payload: object | None = None
+
+    def payload_bytes(self) -> int:
+        """Serialized size of the payload alone."""
+        return estimate_size_bytes(self.payload)
+
+    def size_bytes(self) -> int:
+        """Total on-the-wire size: payload plus a fixed envelope overhead."""
+        return MESSAGE_OVERHEAD_BYTES + self.payload_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.sender!r} -> {self.recipient!r}, kind={self.kind.value}, "
+            f"bytes={self.size_bytes()})"
+        )

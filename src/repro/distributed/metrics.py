@@ -1,0 +1,65 @@
+"""Cost accounting for the simulated distributed environment.
+
+The quantities mirror the paper's evaluation metrics (Section V-C): communication
+cost (message volume between stations and the center), storage cost, and time cost
+split into its computation and transmission components.  The comparison figures
+report communication and storage as a fraction of the naive method, which
+:func:`relative_to` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Costs measured for one protocol run over one query batch."""
+
+    method: str
+    downlink_bytes: int = 0
+    uplink_bytes: int = 0
+    message_count: int = 0
+    storage_center_bytes: int = 0
+    storage_station_bytes: int = 0
+    encode_time_s: float = 0.0
+    station_time_s: float = 0.0
+    aggregate_time_s: float = 0.0
+    transmission_time_s: float = 0.0
+    report_count: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def communication_bytes(self) -> int:
+        """Total bytes exchanged between the center and the stations."""
+        return self.downlink_bytes + self.uplink_bytes
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total extra storage attributable to the matching method."""
+        return self.storage_center_bytes + self.storage_station_bytes
+
+    @property
+    def computation_time_s(self) -> float:
+        """Wall-clock computation: encoding + (parallel) station matching + aggregation."""
+        return self.encode_time_s + self.station_time_s + self.aggregate_time_s
+
+    @property
+    def total_time_s(self) -> float:
+        """End-to-end time: computation plus simulated transmission."""
+        return self.computation_time_s + self.transmission_time_s
+
+    def relative_to(self, baseline: "CostReport") -> dict[str, float]:
+        """Communication/storage/time of this run as a fraction of ``baseline``.
+
+        A fraction of 0 is reported when the baseline quantity is itself 0.
+        """
+
+        def ratio(value: float, reference: float) -> float:
+            return float(value) / float(reference) if reference else 0.0
+
+        return {
+            "communication": ratio(self.communication_bytes, baseline.communication_bytes),
+            "storage": ratio(self.storage_bytes, baseline.storage_bytes),
+            "time": ratio(self.total_time_s, baseline.total_time_s),
+        }

@@ -1,0 +1,112 @@
+"""Simulated network between the data center and base stations.
+
+The model captures the two properties the paper's communication argument depends on:
+the wireless backhaul has limited bandwidth, and every station shares the data
+center's ingress link when uploading.  Downlink broadcasts to different stations
+proceed in parallel (each station has its own link), so downlink latency is the
+maximum over stations; uplink transfers serialize at the center, so uplink latency is
+the sum over stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.messages import Message
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Link parameters of the simulated backhaul."""
+
+    #: Sustained throughput of each link, in bytes per second.
+    bandwidth_bytes_per_s: float = 2_000_000.0
+    #: Fixed per-message latency in seconds.
+    latency_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        require_positive(self.bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+        require_non_negative(self.latency_s, "latency_s")
+
+    def transfer_time_s(self, size_bytes: int) -> float:
+        """Simulated time to move ``size_bytes`` over one link."""
+        require_non_negative(size_bytes, "size_bytes")
+        return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
+
+
+class SimulatedNetwork:
+    """Delivers messages between nodes while recording byte and timing costs."""
+
+    def __init__(self, config: NetworkConfig | None = None) -> None:
+        self._config = config or NetworkConfig()
+        self._downlink_bytes = 0
+        self._uplink_bytes = 0
+        self._message_count = 0
+        self._downlink_times: list[float] = []
+        self._uplink_times: list[float] = []
+        self._log: list[Message] = []
+
+    @property
+    def config(self) -> NetworkConfig:
+        """The link parameters in use."""
+        return self._config
+
+    @property
+    def downlink_bytes(self) -> int:
+        """Bytes sent from the data center to stations."""
+        return self._downlink_bytes
+
+    @property
+    def uplink_bytes(self) -> int:
+        """Bytes sent from stations to the data center."""
+        return self._uplink_bytes
+
+    @property
+    def message_count(self) -> int:
+        """Total messages delivered."""
+        return self._message_count
+
+    @property
+    def message_log(self) -> list[Message]:
+        """All delivered messages, in delivery order."""
+        return list(self._log)
+
+    def send_downlink(self, message: Message) -> float:
+        """Record a center→station message; return its simulated transfer time."""
+        size = message.size_bytes()
+        self._downlink_bytes += size
+        self._message_count += 1
+        self._log.append(message)
+        transfer = self._config.transfer_time_s(size)
+        self._downlink_times.append(transfer)
+        return transfer
+
+    def send_uplink(self, message: Message) -> float:
+        """Record a station→center message; return its simulated transfer time."""
+        size = message.size_bytes()
+        self._uplink_bytes += size
+        self._message_count += 1
+        self._log.append(message)
+        transfer = self._config.transfer_time_s(size)
+        self._uplink_times.append(transfer)
+        return transfer
+
+    def transmission_time_s(self) -> float:
+        """Aggregate simulated transmission time.
+
+        Downlink broadcasts run in parallel (max over stations); uplink transfers
+        serialize at the data center's ingress (sum over stations).
+        """
+        downlink = max(self._downlink_times) if self._downlink_times else 0.0
+        uplink = sum(self._uplink_times)
+        return downlink + uplink
+
+    def reset(self) -> None:
+        """Clear all recorded traffic."""
+        self._downlink_bytes = 0
+        self._uplink_bytes = 0
+        self._message_count = 0
+        self._downlink_times.clear()
+        self._uplink_times.clear()
+        self._log.clear()

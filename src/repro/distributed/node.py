@@ -1,0 +1,38 @@
+"""Base class for simulated nodes (the data center and the base stations)."""
+
+from __future__ import annotations
+
+from repro.distributed.messages import Message
+
+
+class Node:
+    """A named participant in the simulated environment with an inbox."""
+
+    def __init__(self, node_id: str) -> None:
+        self._node_id = str(node_id)
+        self._inbox: list[Message] = []
+
+    @property
+    def node_id(self) -> str:
+        """Unique identifier of this node."""
+        return self._node_id
+
+    @property
+    def inbox(self) -> list[Message]:
+        """Messages received, in arrival order."""
+        return list(self._inbox)
+
+    def receive(self, message: Message) -> None:
+        """Deliver ``message`` to this node."""
+        if message.recipient != self._node_id:
+            raise ValueError(
+                f"message addressed to {message.recipient!r} delivered to {self._node_id!r}"
+            )
+        self._inbox.append(message)
+
+    def clear_inbox(self) -> None:
+        """Discard all received messages."""
+        self._inbox.clear()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(node_id={self._node_id!r}, inbox={len(self._inbox)})"

@@ -1,0 +1,60 @@
+"""Evaluation harness: retrieval metrics, experiment runners and report formatting.
+
+The experiment runners reproduce every table and figure of the paper's evaluation
+section (see DESIGN.md §4 for the experiment index); the benchmark scripts under
+``benchmarks/`` are thin wrappers around them.
+"""
+
+from repro.evaluation.experiments import (
+    ComparisonResult,
+    EffectivenessRow,
+    MethodOutcome,
+    convergence_study,
+    effectiveness_study,
+    ground_truth_users,
+    make_protocols,
+    run_comparison,
+    sweep_query_counts,
+)
+from repro.evaluation.figures import (
+    accumulated_category_series,
+    category_mean_series,
+    local_similarity_counts,
+)
+from repro.evaluation.metrics import (
+    ConfusionCounts,
+    RetrievalMetrics,
+    evaluate_retrieval,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.evaluation.reporting import (
+    format_comparison_sweep,
+    format_convergence_table,
+    format_effectiveness_table,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "EffectivenessRow",
+    "MethodOutcome",
+    "convergence_study",
+    "effectiveness_study",
+    "ground_truth_users",
+    "make_protocols",
+    "run_comparison",
+    "sweep_query_counts",
+    "accumulated_category_series",
+    "category_mean_series",
+    "local_similarity_counts",
+    "ConfusionCounts",
+    "RetrievalMetrics",
+    "evaluate_retrieval",
+    "f1_score",
+    "precision",
+    "recall",
+    "format_comparison_sweep",
+    "format_convergence_table",
+    "format_effectiveness_table",
+]

@@ -1,0 +1,113 @@
+"""Data series for the paper's descriptive figures (Figures 1a, 1b and 3).
+
+These functions compute the plotted series; the benchmark scripts render them as
+ASCII charts and record them in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.datagen.categories import CategoryProfile, default_categories
+from repro.datagen.generator import generate_user_interval_values
+from repro.datagen.workload import DistributedDataset
+from repro.timeseries.similarity import pattern_epsilon_similar
+from repro.timeseries.transform import accumulate
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_non_negative, require_positive
+
+
+def _rebin(values: Sequence[float], bin_size: int) -> list[float]:
+    """Sum consecutive groups of ``bin_size`` values."""
+    require_positive(bin_size, "bin_size")
+    return [
+        float(sum(values[start : start + bin_size]))
+        for start in range(0, len(values), bin_size)
+    ]
+
+
+def category_mean_series(
+    days: int = 2,
+    bin_hours: int = 6,
+    categories: Sequence[CategoryProfile] | None = None,
+    seed: int = 5,
+) -> dict[str, list[float]]:
+    """Figure 1(a): normalised category communication patterns over ``days`` days.
+
+    Values are aggregated into ``bin_hours``-hour bins and normalised by each
+    category's mean, exactly as the paper plots them; the series exhibit the daily
+    periodicity and cross-category divisibility of Observation 1.
+    """
+    require_positive(days, "days")
+    require_positive(bin_hours, "bin_hours")
+    categories = list(categories) if categories is not None else default_categories()
+    series: dict[str, list[float]] = {}
+    for category in categories:
+        rng = make_rng(seed, "fig1a", category.name)
+        values = generate_user_interval_values(
+            category, days * 24, intervals_per_day=24, rng=rng, noise_level=0
+        )
+        binned = _rebin(values, bin_hours)
+        total = sum(binned)
+        mean = total / len(binned) if total else 1.0
+        series[category.name] = [value / mean if mean else 0.0 for value in binned]
+    return series
+
+
+def accumulated_category_series(
+    days: int = 7,
+    bin_hours: int = 6,
+    categories: Sequence[CategoryProfile] | None = None,
+    seed: int = 5,
+) -> dict[str, list[float]]:
+    """Figure 3: accumulated (Eq. 3) category patterns over one week.
+
+    The accumulated form is monotone and the categories separate progressively —
+    the property the encoder exploits.
+    """
+    categories = list(categories) if categories is not None else default_categories()
+    series: dict[str, list[float]] = {}
+    for category in categories:
+        rng = make_rng(seed, "fig3", category.name)
+        values = generate_user_interval_values(
+            category, days * 24, intervals_per_day=24, rng=rng, noise_level=0
+        )
+        binned = [int(v) for v in _rebin(values, bin_hours)]
+        accumulated = accumulate(binned)
+        grand_total = accumulated[-1] if accumulated[-1] else 1
+        series[category.name] = [value / grand_total for value in accumulated]
+    return series
+
+
+def local_similarity_counts(
+    dataset: DistributedDataset,
+    epsilon: float,
+    max_pairs: int = 2000,
+) -> list[int]:
+    """Figure 1(b): for every globally ε-similar user pair, the number of ε-similar local pairs.
+
+    The paper observes that among similar global patterns, more than 90% of the pairs
+    share at least one similar local pattern (Observation 2) — the property that
+    makes station-level matching against local-fragment combinations effective.
+    """
+    require_non_negative(epsilon, "epsilon")
+    require_positive(max_pairs, "max_pairs")
+    counts: list[int] = []
+    user_ids = [
+        user_id for user_id in dataset.user_ids if not dataset.profile(user_id).is_decoy
+    ]
+    for first, second in combinations(user_ids, 2):
+        if len(counts) >= max_pairs:
+            break
+        if not pattern_epsilon_similar(
+            dataset.global_pattern(first), dataset.global_pattern(second), epsilon
+        ):
+            continue
+        similar_local_pairs = 0
+        for local_a in dataset.local_patterns_for(first):
+            for local_b in dataset.local_patterns_for(second):
+                if pattern_epsilon_similar(local_a, local_b, epsilon):
+                    similar_local_pairs += 1
+        counts.append(similar_local_pairs)
+    return counts

@@ -1,0 +1,82 @@
+"""Retrieval quality metrics used by the evaluation (Section V-C / V-D).
+
+The paper measures precision (fraction of retrieved patterns that are relevant),
+recall (fraction of relevant patterns retrieved) and their harmonic mean F1, with
+relevance defined by Eq. (2) against the ground-truth global patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """True/false positive and false negative counts of one retrieval."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+
+    @property
+    def retrieved(self) -> int:
+        """Number of retrieved items."""
+        return self.true_positive + self.false_positive
+
+    @property
+    def relevant(self) -> int:
+        """Number of relevant (ground truth) items."""
+        return self.true_positive + self.false_negative
+
+
+@dataclass(frozen=True)
+class RetrievalMetrics:
+    """Precision / recall / F1 plus the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    counts: ConfusionCounts
+
+
+def precision(retrieved: Iterable[str], relevant: Iterable[str]) -> float:
+    """True positive / (true positive + false positive); 1.0 for an empty retrieval."""
+    retrieved_set, relevant_set = set(retrieved), set(relevant)
+    if not retrieved_set:
+        return 1.0 if not relevant_set else 0.0
+    return len(retrieved_set & relevant_set) / len(retrieved_set)
+
+
+def recall(retrieved: Iterable[str], relevant: Iterable[str]) -> float:
+    """True positive / (true positive + false negative); 1.0 when nothing is relevant."""
+    retrieved_set, relevant_set = set(retrieved), set(relevant)
+    if not relevant_set:
+        return 1.0
+    return len(retrieved_set & relevant_set) / len(relevant_set)
+
+
+def f1_score(precision_value: float, recall_value: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision_value + recall_value == 0:
+        return 0.0
+    return 2.0 * precision_value * recall_value / (precision_value + recall_value)
+
+
+def evaluate_retrieval(retrieved: Iterable[str], relevant: Iterable[str]) -> RetrievalMetrics:
+    """Compute precision, recall, F1 and the confusion counts for one retrieval."""
+    retrieved_set, relevant_set = set(retrieved), set(relevant)
+    true_positive = len(retrieved_set & relevant_set)
+    counts = ConfusionCounts(
+        true_positive=true_positive,
+        false_positive=len(retrieved_set) - true_positive,
+        false_negative=len(relevant_set) - true_positive,
+    )
+    precision_value = precision(retrieved_set, relevant_set)
+    recall_value = recall(retrieved_set, relevant_set)
+    return RetrievalMetrics(
+        precision=precision_value,
+        recall=recall_value,
+        f1=f1_score(precision_value, recall_value),
+        counts=counts,
+    )

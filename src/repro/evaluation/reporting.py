@@ -1,0 +1,87 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harness prints these reports so that every run regenerates the same
+rows/series the paper reports, in a form that can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.experiments import ComparisonResult, EffectivenessRow
+from repro.utils.asciiplot import render_line_chart, render_table
+from repro.utils.validation import require_non_empty
+
+
+def comparison_series(
+    results: Sequence[ComparisonResult],
+    quantity: str,
+    methods: Sequence[str] = ("naive", "bf", "wbf"),
+) -> dict[str, list[float]]:
+    """Extract one plotted quantity per method from a query-count sweep.
+
+    ``quantity`` is one of ``precision``, ``time``, ``communication``, ``storage``;
+    the latter two are expressed relative to the naive method, as in Figure 4(c)/(d).
+    """
+    require_non_empty(results, "results")
+    series: dict[str, list[float]] = {method: [] for method in methods}
+    for result in results:
+        for method in methods:
+            outcome = result.outcome(method)
+            if quantity == "precision":
+                value = outcome.metrics.precision
+            elif quantity == "time":
+                value = outcome.costs.total_time_s
+            elif quantity == "communication":
+                value = result.relative_costs(method)["communication"]
+            elif quantity == "storage":
+                value = result.relative_costs(method)["storage"]
+            else:
+                raise ValueError(
+                    f"unknown quantity {quantity!r}; expected precision/time/communication/storage"
+                )
+            series[method].append(value)
+    return series
+
+
+def format_comparison_sweep(
+    results: Sequence[ComparisonResult],
+    quantity: str,
+    title: str,
+    methods: Sequence[str] = ("naive", "bf", "wbf"),
+) -> str:
+    """Render one Figure-4 panel: a data table plus an ASCII chart."""
+    series = comparison_series(results, quantity, methods)
+    pattern_counts = [result.combined_pattern_count for result in results]
+    headers = ["patterns"] + list(methods)
+    rows = []
+    for index, count in enumerate(pattern_counts):
+        rows.append([count] + [series[method][index] for method in methods])
+    table = render_table(headers, rows)
+    chart = render_line_chart(series, x_values=pattern_counts, title=title)
+    return f"{title}\n{table}\n\n{chart}"
+
+
+def format_effectiveness_table(rows: Sequence[EffectivenessRow]) -> str:
+    """Render Table II: per-day precision / recall / F1."""
+    require_non_empty(rows, "rows")
+    table_rows = [[row.day_label, row.precision, row.recall, row.f1] for row in rows]
+    return render_table(["Days", "Precision", "Recall", "F1"], table_rows)
+
+
+def format_convergence_table(results: Mapping[str, Mapping[int, float]]) -> str:
+    """Render the sample-count convergence study as a table plus chart."""
+    require_non_empty(results, "results")
+    sample_counts = sorted(next(iter(results.values())).keys())
+    headers = ["b"] + list(results.keys())
+    rows = []
+    for sample_count in sample_counts:
+        rows.append([sample_count] + [results[group][sample_count] for group in results])
+    table = render_table(headers, rows)
+    series = {
+        group: [per_group[b] for b in sample_counts] for group, per_group in results.items()
+    }
+    chart = render_line_chart(
+        series, x_values=sample_counts, title="Accuracy vs sample count b"
+    )
+    return f"{table}\n\n{chart}"

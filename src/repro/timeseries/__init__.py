@@ -1,0 +1,45 @@
+"""Time-series substrate: patterns, transforms, sampling, similarity and combinations.
+
+Implements the paper's Definition 1 (communication pattern), Eq. (2) (ε-similarity),
+Eq. (3) (accumulation transform) and Eq. (4) (local-pattern combinations).
+"""
+
+from repro.timeseries.attributes import AttributeWeights, CommunicationAttributes, communication_pattern_value
+from repro.timeseries.combinations import (
+    combination_count,
+    enumerate_combinations,
+    enumerate_pattern_combinations,
+)
+from repro.timeseries.pattern import GlobalPattern, LocalPattern, Pattern, PatternSet
+from repro.timeseries.sampling import uniform_sample, uniform_sample_indices
+from repro.timeseries.similarity import (
+    chebyshev_distance,
+    epsilon_similar,
+    l1_distance,
+    l2_distance,
+    pattern_epsilon_similar,
+)
+from repro.timeseries.transform import accumulate, deaccumulate, is_non_decreasing
+
+__all__ = [
+    "AttributeWeights",
+    "CommunicationAttributes",
+    "communication_pattern_value",
+    "combination_count",
+    "enumerate_combinations",
+    "enumerate_pattern_combinations",
+    "GlobalPattern",
+    "LocalPattern",
+    "Pattern",
+    "PatternSet",
+    "uniform_sample",
+    "uniform_sample_indices",
+    "chebyshev_distance",
+    "epsilon_similar",
+    "l1_distance",
+    "l2_distance",
+    "pattern_epsilon_similar",
+    "accumulate",
+    "deaccumulate",
+    "is_non_decreasing",
+]

@@ -1,0 +1,69 @@
+"""Communication-pattern attribute fusion (Definition 1 of the paper).
+
+A user's raw data per time interval consists of several attributes — the paper uses
+the number of calls, the total call duration and the number of distinct partners —
+and the *communication pattern value* for that interval is their weighted mean
+``π_i^g = (1/m) Σ_f w_f · s_i^{g,f}``.  The default configuration matches the paper:
+three attributes, equal weights (the plain mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class CommunicationAttributes:
+    """Raw per-interval attributes of one user's communication activity."""
+
+    call_count: int
+    call_duration: int
+    partner_count: int
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.call_count, "call_count")
+        require_non_negative(self.call_duration, "call_duration")
+        require_non_negative(self.partner_count, "partner_count")
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """Return ``(call_count, call_duration, partner_count)``."""
+        return (self.call_count, self.call_duration, self.partner_count)
+
+
+@dataclass(frozen=True)
+class AttributeWeights:
+    """Weights ``w_f`` applied to the three attributes in Definition 1."""
+
+    call_count: float = 1.0
+    call_duration: float = 1.0
+    partner_count: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.call_count, "call_count")
+        require_non_negative(self.call_duration, "call_duration")
+        require_non_negative(self.partner_count, "partner_count")
+        if self.call_count == self.call_duration == self.partner_count == 0:
+            raise ValueError("at least one attribute weight must be positive")
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return ``(w_calls, w_duration, w_partners)``."""
+        return (self.call_count, self.call_duration, self.partner_count)
+
+
+def communication_pattern_value(
+    attributes: CommunicationAttributes,
+    weights: AttributeWeights | None = None,
+) -> int:
+    """Definition 1: the weighted mean of the interval's attributes, rounded to an int.
+
+    The result is rounded because the matching layer (Bloom-filter hashing of integer
+    accumulated values, Eq. 2 with integer ε) operates on natural numbers, as the
+    paper assumes.
+    """
+    weights = weights or AttributeWeights()
+    attribute_values = attributes.as_tuple()
+    weight_values = weights.as_tuple()
+    weighted_sum = sum(w * s for w, s in zip(weight_values, attribute_values))
+    return int(round(weighted_sum / len(attribute_values)))

@@ -1,0 +1,50 @@
+"""Combinations of query local patterns (Eq. 4 of the paper).
+
+A target user's data may be split across any subset of the base stations the query
+user visited (e.g. the query user's home and office are different stations but a
+target user's home and office fall in the same cell).  The data center therefore
+enumerates every non-empty subset of the query's local patterns, sums each subset
+into a combined pattern, and hashes all of them into the WBF.  The number of
+combinations is ``Ψ = Σ_{j=1..l} C(l, j) = 2^l − 1``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Iterator, Sequence
+
+from repro.timeseries.pattern import LocalPattern, Pattern
+from repro.utils.validation import require_non_empty, require_positive
+
+
+def combination_count(local_pattern_count: int) -> int:
+    """Eq. (4): the number of non-empty subsets of ``local_pattern_count`` patterns."""
+    require_positive(local_pattern_count, "local_pattern_count")
+    return sum(comb(local_pattern_count, j) for j in range(1, local_pattern_count + 1))
+
+
+def enumerate_combinations(items: Sequence[object]) -> Iterator[tuple[object, ...]]:
+    """Yield every non-empty subset of ``items`` in size order, then lexicographic."""
+    require_non_empty(items, "items")
+    for size in range(1, len(items) + 1):
+        yield from combinations(items, size)
+
+
+def enumerate_pattern_combinations(locals_: Sequence[LocalPattern]) -> list[Pattern]:
+    """Sum every non-empty subset of ``locals_`` into a combined pattern.
+
+    The full subset (all local patterns) equals the query's global pattern.  The
+    returned list therefore always contains the global pattern as its last element
+    and has :func:`combination_count` entries.
+    """
+    require_non_empty(locals_, "locals_")
+    combined: list[Pattern] = []
+    for subset in enumerate_combinations(locals_):
+        total: Pattern = subset[0]
+        for pattern in subset[1:]:
+            total = total + pattern
+        # Combined query fragments lose the single-station identity; represent them
+        # as plain Patterns owned by the query user.
+        combined.append(Pattern(total.user_id, total.values))
+    return combined

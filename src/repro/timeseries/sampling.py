@@ -1,0 +1,46 @@
+"""Uniform sampling of pattern values (the paper's parameter ``b``).
+
+To bound communication and hashing cost, Algorithm 1 samples ``b`` points from each
+(accumulated) pattern instead of hashing every interval.  The base stations must
+sample the *same* positions, so sampling is deterministic: evenly spaced indices over
+the pattern length, always including the final (maximum) point, which carries the
+pattern's weight.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.utils.validation import require_non_empty, require_positive
+
+T = TypeVar("T")
+
+
+def uniform_sample_indices(length: int, sample_count: int) -> list[int]:
+    """Evenly spaced indices into a sequence of ``length`` items.
+
+    Always includes the last index (the accumulated maximum).  If ``sample_count``
+    is greater than or equal to ``length``, every index is returned.
+    """
+    require_positive(length, "length")
+    require_positive(sample_count, "sample_count")
+    if sample_count >= length:
+        return list(range(length))
+    if sample_count == 1:
+        return [length - 1]
+    step = (length - 1) / (sample_count - 1)
+    indices = [round(i * step) for i in range(sample_count)]
+    # Rounding can produce duplicates for small lengths; deduplicate preserving order.
+    seen: dict[int, None] = {}
+    for index in indices:
+        seen.setdefault(min(index, length - 1), None)
+    result = list(seen.keys())
+    if result[-1] != length - 1:
+        result.append(length - 1)
+    return result
+
+
+def uniform_sample(values: Sequence[T], sample_count: int) -> list[T]:
+    """Return ``sample_count`` evenly spaced values from ``values`` (last included)."""
+    require_non_empty(values, "values")
+    return [values[i] for i in uniform_sample_indices(len(values), sample_count)]

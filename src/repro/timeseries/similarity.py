@@ -1,0 +1,54 @@
+"""Similarity measures between patterns.
+
+The paper's matching predicate (Eq. 2) requires every interval of the candidate to be
+within ``ε`` of the query: ``|ν_u^t − ν_i^t| ≤ ε`` for all ``t`` — i.e. the Chebyshev
+(L∞) distance is at most ε.  The paper phrases this as an "L1-norm similarity"
+because the per-interval comparison uses absolute differences; we expose both the
+per-interval predicate and conventional L1/L2/Chebyshev distances so downstream users
+can plug in other distance functions (listed as future work in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.timeseries.pattern import Pattern
+from repro.utils.validation import require_non_negative
+
+
+def _check_same_length(a: Sequence[float], b: Sequence[float]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"sequences have different lengths: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("sequences must not be empty")
+
+
+def l1_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Sum of absolute per-interval differences."""
+    _check_same_length(a, b)
+    return float(sum(abs(x - y) for x, y in zip(a, b)))
+
+
+def l2_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance."""
+    _check_same_length(a, b)
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def chebyshev_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Maximum absolute per-interval difference."""
+    _check_same_length(a, b)
+    return float(max(abs(x - y) for x, y in zip(a, b)))
+
+
+def epsilon_similar(a: Sequence[float], b: Sequence[float], epsilon: float) -> bool:
+    """Eq. (2): True if every interval of ``a`` is within ``epsilon`` of ``b``."""
+    require_non_negative(epsilon, "epsilon")
+    _check_same_length(a, b)
+    return all(abs(x - y) <= epsilon for x, y in zip(a, b))
+
+
+def pattern_epsilon_similar(a: Pattern, b: Pattern, epsilon: float) -> bool:
+    """Eq. (2) applied to two :class:`~repro.timeseries.pattern.Pattern` objects."""
+    return epsilon_similar(a.values, b.values, epsilon)

@@ -1,0 +1,54 @@
+"""Accumulation transform (Eq. 3 of the paper).
+
+The transform maps a pattern ``V^1, V^2, ..., V^t`` to its running sum
+``f(g) = f(g-1) + V^g`` with ``f(0) = V^0``.  It makes the series monotonically
+non-decreasing, folds the time order into the values (so ``{1,2,3}`` and ``{3,2,1}``
+become distinguishable: ``{1,3,6}`` vs ``{3,5,6}``) and amplifies differences between
+patterns, which is why the encoder hashes accumulated values rather than raw ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.timeseries.pattern import GlobalPattern, LocalPattern, Pattern
+from repro.utils.validation import require_all_integers, require_non_empty
+
+
+def accumulate(values: Sequence[int]) -> list[int]:
+    """Return the running-sum (accumulated) form of ``values``."""
+    items = require_all_integers(values, "values")
+    require_non_empty(items, "values")
+    out: list[int] = []
+    running = 0
+    for value in items:
+        running += value
+        out.append(running)
+    return out
+
+
+def deaccumulate(accumulated: Sequence[int]) -> list[int]:
+    """Invert :func:`accumulate`: recover the original values from the running sums."""
+    items = require_all_integers(accumulated, "accumulated")
+    require_non_empty(items, "accumulated")
+    out: list[int] = []
+    previous = 0
+    for value in items:
+        out.append(value - previous)
+        previous = value
+    return out
+
+
+def is_non_decreasing(values: Sequence[int]) -> bool:
+    """Return True if ``values`` is monotonically non-decreasing."""
+    return all(b >= a for a, b in zip(values, values[1:]))
+
+
+def accumulate_pattern(pattern: Pattern) -> Pattern:
+    """Return a new pattern of the same concrete type with accumulated values."""
+    accumulated = accumulate(pattern.values)
+    if isinstance(pattern, LocalPattern):
+        return LocalPattern(pattern.user_id, accumulated, pattern.station_id)
+    if isinstance(pattern, GlobalPattern):
+        return GlobalPattern(pattern.user_id, accumulated)
+    return Pattern(pattern.user_id, accumulated)

@@ -1,0 +1,37 @@
+"""Shared utilities: validation, deterministic RNG, serialization sizing, ASCII plotting.
+
+These helpers are deliberately dependency-light so every other subpackage can use
+them without import cycles.
+"""
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+from repro.utils.serialization import (
+    estimate_size_bytes,
+    sizeof_float,
+    sizeof_id,
+    sizeof_int,
+)
+from repro.utils.validation import (
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "spawn_rngs",
+    "estimate_size_bytes",
+    "sizeof_float",
+    "sizeof_id",
+    "sizeof_int",
+    "require_in_range",
+    "require_non_empty",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "require_type",
+]

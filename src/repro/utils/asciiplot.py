@@ -1,0 +1,108 @@
+"""Minimal ASCII rendering of figures and tables.
+
+The benchmark harness reproduces every figure of the paper as a data series plus an
+ASCII chart so results are inspectable in a terminal / CI log without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.utils.validation import require_non_empty, require_positive
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain-text table with aligned columns.
+
+    ``headers`` gives the column names; each row must have the same number of cells.
+    """
+    require_non_empty(headers, "headers")
+    cells = [[str(h) for h in headers]] + [[_format_cell(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    header_line = " | ".join(cell.ljust(width) for cell, width in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float] | None = None,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Each series is plotted with a distinct marker character.  The chart is meant for
+    qualitative shape comparison (who wins, where curves cross), matching how the
+    benchmark harness uses it.
+    """
+    require_non_empty(series, "series")
+    require_positive(width, "width")
+    require_positive(height, "height")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all series must have equal length, got lengths {sorted(lengths)}")
+    (length,) = lengths
+    if length == 0:
+        raise ValueError("series must contain at least one point")
+    if x_values is None:
+        x_values = list(range(length))
+    if len(x_values) != length:
+        raise ValueError("x_values length must match series length")
+
+    all_values = [v for values in series.values() for v in values]
+    vmin, vmax = min(all_values), max(all_values)
+    if vmax == vmin:
+        vmax = vmin + 1.0
+
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (_, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for point_index, value in enumerate(values):
+            col = (
+                0
+                if length == 1
+                else int(round(point_index * (width - 1) / (length - 1)))
+            )
+            row = int(round((value - vmin) / (vmax - vmin) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={vmax:.4g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"min={vmin:.4g}   x: {x_values[0]} .. {x_values[-1]}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series.keys())
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_cdf(values: Sequence[float], width: int = 60, height: int = 12, title: str = "") -> str:
+    """Render the empirical CDF of ``values`` as an ASCII chart."""
+    require_non_empty(values, "values")
+    ordered = sorted(values)
+    n = len(ordered)
+    cdf = [(i + 1) / n for i in range(n)]
+    return render_line_chart({"CDF": cdf}, x_values=ordered, width=width, height=height, title=title)

@@ -1,0 +1,39 @@
+"""Deterministic random number generation helpers.
+
+All stochastic components of the library (synthetic data generation, sampling,
+simulation) accept an integer seed and derive their generators through these
+helpers so that experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``base_seed`` and a sequence of labels.
+
+    The derivation is stable across processes and Python versions (it uses SHA-256
+    rather than ``hash()``), so two runs with the same base seed and labels produce
+    identical streams.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(base_seed)).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(repr(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def make_rng(seed: int, *labels: object) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` seeded from ``seed`` and ``labels``."""
+    return np.random.default_rng(derive_seed(seed, *labels))
+
+
+def spawn_rngs(seed: int, count: int, *labels: object) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed`` and ``labels``."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [make_rng(seed, *labels, index) for index in range(count)]

@@ -1,0 +1,94 @@
+"""Integration test of the raw-CDR path: records → attributes → patterns → matching."""
+
+from repro.core.config import DIMatchingConfig
+from repro.core.dimatching import DIMatchingProtocol
+from repro.datagen.categories import get_category
+from repro.datagen.cdr import aggregate_records_to_attributes
+from repro.datagen.generator import CallGenerationSpec, SyntheticCdrGenerator
+from repro.datagen.mobility import UserMobility
+from repro.timeseries.attributes import communication_pattern_value
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+
+def _patterns_from_cdrs(user_id, records, interval_seconds, interval_count, stations):
+    """Aggregate raw CDRs into per-station local patterns (Definition 1 end to end)."""
+    fragments = []
+    for station in stations:
+        station_records = [r for r in records if r.station_id == station]
+        attributes = aggregate_records_to_attributes(
+            station_records, user_id, interval_seconds, interval_count
+        )
+        values = [communication_pattern_value(a) for a in attributes]
+        if any(values):
+            fragments.append(LocalPattern(user_id, values, station))
+    return fragments
+
+
+class TestCdrPipeline:
+    def test_raw_records_flow_through_full_matching_pipeline(self):
+        category = get_category("office_worker")
+        interval_seconds = 3600
+        interval_count = 24
+        mobility = UserMobility("target", "bs-home", "bs-work", "bs-other")
+        station_for_interval = [
+            mobility.station_for(category.place_at(hour)) for hour in range(interval_count)
+        ]
+        generator = SyntheticCdrGenerator(CallGenerationSpec(interval_seconds=interval_seconds))
+
+        from repro.utils.rng import make_rng
+
+        records = generator.generate_for_user(
+            "target", category, station_for_interval, interval_count, make_rng(17)
+        )
+        assert records, "the generator must produce call records for an active category"
+
+        stations = sorted({r.station_id for r in records})
+        fragments = _patterns_from_cdrs(
+            "target", records, interval_seconds, interval_count, stations
+        )
+        assert fragments, "aggregation must produce at least one non-empty local pattern"
+
+        # The service provider supplies this user's fragments as the query; the same
+        # fragments stored at their stations must then be retrieved as a complete match.
+        query = QueryPattern("campaign", fragments)
+        protocol = DIMatchingProtocol(DIMatchingConfig(epsilon=0, sample_count=12))
+        artifact = protocol.encode([query])
+        reports = []
+        for fragment in fragments:
+            station_patterns = PatternSet(
+                [LocalPattern("candidate", fragment.values, fragment.station_id)]
+            )
+            reports.extend(
+                protocol.station_match(fragment.station_id, station_patterns, artifact)
+            )
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids()[0] == "candidate"
+        assert results.users[0].score == 1.0
+
+    def test_global_pattern_reconstruction_matches_direct_aggregation(self):
+        category = get_category("field_sales")
+        interval_seconds = 3600
+        interval_count = 24
+        mobility = UserMobility("u", "bs-1", "bs-2", "bs-3")
+        station_for_interval = [
+            mobility.station_for(category.place_at(hour)) for hour in range(interval_count)
+        ]
+        generator = SyntheticCdrGenerator(CallGenerationSpec(interval_seconds=interval_seconds))
+
+        from repro.utils.rng import make_rng
+
+        records = generator.generate_for_user(
+            "u", category, station_for_interval, interval_count, make_rng(23)
+        )
+        stations = sorted({r.station_id for r in records})
+        fragments = _patterns_from_cdrs("u", records, interval_seconds, interval_count, stations)
+
+        # Summing the per-station fragments must equal aggregating all records at once.
+        whole = aggregate_records_to_attributes(records, "u", interval_seconds, interval_count)
+        whole_values = [communication_pattern_value(a) for a in whole]
+        summed = [0] * interval_count
+        for fragment in fragments:
+            for index, value in enumerate(fragment.values):
+                summed[index] += value
+        assert summed == whole_values

@@ -1,0 +1,63 @@
+"""Integration tests that keep the example scripts runnable.
+
+Each example is executed in a subprocess (as a user would run it) and its output is
+checked for the headline facts it is supposed to demonstrate.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+def _run_example(name: str, timeout: int = 300) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example script {script}"
+    env = {"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"}
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = _run_example("quickstart.py")
+        assert "retrieved" in output
+        assert "precision=1.000" in output
+
+    def test_wbf_vs_bloom_filter(self):
+        output = _run_example("wbf_vs_bloom_filter.py")
+        # The plain BF falls for both failure cases; the WBF rejects both.
+        assert "plain BF station reports : ['mixed-values']" in output
+        assert "WBF station reports      : []" in output
+        assert "plain BF final ranking : ['over-matcher']" in output
+        assert "WBF final ranking      : []" in output
+
+    def test_call_package_campaign(self):
+        output = _run_example("call_package_campaign.py")
+        assert "[wbf]" in output and "[naive]" in output
+        assert "fewer bytes than shipping the raw data" in output
+
+    def test_online_monitoring(self):
+        output = _run_example("online_monitoring.py")
+        assert "final top-5" in output
+        assert "1 station re-matched" in output
+
+    @pytest.mark.slow
+    def test_city_scale_simulation(self):
+        output = _run_example("city_scale_simulation.py", timeout=600)
+        assert "method" in output and "wbf" in output
+        assert "naive" in output

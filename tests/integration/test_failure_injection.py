@@ -1,0 +1,116 @@
+"""Failure-injection integration tests.
+
+The data center relies on reports from many base stations; these tests check that
+the aggregation degrades gracefully when reports are lost, duplicated or arrive from
+stations holding no data, and that configuration mismatches are detected rather than
+silently producing wrong answers.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.aggregator import SimilarityRanker
+from repro.core.config import DIMatchingConfig
+from repro.core.dimatching import DIMatchingProtocol
+from repro.core.exceptions import MatchingError
+from repro.core.matcher import BaseStationMatcher
+from repro.core.protocol import MatchReport
+from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
+from repro.evaluation.experiments import ground_truth_users
+from repro.timeseries.pattern import PatternSet
+
+
+@pytest.fixture(scope="module")
+def environment():
+    dataset = build_dataset(
+        DatasetSpec(users_per_category=6, station_count=4, noise_level=0, seed=31)
+    )
+    workload = build_query_workload(dataset, 6, epsilon=0, seed=3)
+    config = DIMatchingConfig(epsilon=0, sample_count=12)
+    protocol = DIMatchingProtocol(config)
+    artifact = protocol.encode(list(workload.queries))
+    reports_by_station = {}
+    for station_id in dataset.station_ids:
+        patterns = dataset.local_patterns_at(station_id)
+        if len(patterns):
+            reports_by_station[station_id] = protocol.station_match(
+                station_id, patterns, artifact
+            )
+    return dataset, workload, protocol, artifact, reports_by_station
+
+
+class TestLostReports:
+    def test_dropping_one_station_only_loses_users_served_there(self, environment):
+        dataset, workload, protocol, _, reports_by_station = environment
+        truth = ground_truth_users(dataset, list(workload.queries), 0)
+        stations = list(reports_by_station)
+        dropped = stations[0]
+        surviving_reports = [
+            report
+            for station, reports in reports_by_station.items()
+            if station != dropped
+            for report in reports
+        ]
+        results = protocol.aggregate(surviving_reports, k=None)
+        complete = {entry.user_id for entry in results if entry.score == 1.0}
+        # Every complete match must still be a true match (dropping data can only
+        # lose matches, never fabricate them) ...
+        assert complete <= set(truth)
+        # ... and users with no data at the dropped station are unaffected.
+        unaffected = {
+            user
+            for user in truth
+            if all(f.station_id != dropped for f in dataset.local_patterns_for(user))
+        }
+        assert unaffected <= complete
+
+    def test_losing_all_reports_yields_empty_result(self, environment):
+        _, _, protocol, _, _ = environment
+        assert len(protocol.aggregate([], k=None)) == 0
+
+
+class TestDuplicatedReports:
+    def test_duplicated_station_report_breaks_its_own_weight_sum_only(self, environment):
+        dataset, workload, protocol, _, reports_by_station = environment
+        all_reports = [r for reports in reports_by_station.values() for r in reports]
+        results_clean = protocol.aggregate(all_reports, k=None)
+        clean_complete = {e.user_id for e in results_clean if e.score == 1.0}
+
+        # A retransmission that duplicates one station's reports must not create new
+        # complete matches (idempotent per station: same station id, same options).
+        duplicated = all_reports + list(reports_by_station[next(iter(reports_by_station))])
+        results_dup = protocol.aggregate(duplicated, k=None)
+        dup_complete = {e.user_id for e in results_dup if e.score == 1.0}
+        assert dup_complete == clean_complete
+
+
+class TestEmptyAndForeignInputs:
+    def test_station_with_no_patterns_reports_nothing(self, environment):
+        _, _, protocol, artifact, _ = environment
+        assert protocol.station_match("empty-station", PatternSet(), artifact) == []
+
+    def test_stale_filter_with_different_sample_count_is_rejected(self, environment):
+        dataset, _, _, artifact, _ = environment
+        stale_config = DIMatchingConfig(epsilon=0, sample_count=5)
+        station_id = dataset.station_ids[0]
+        matcher = BaseStationMatcher(
+            stale_config, station_id, dataset.local_patterns_at(station_id)
+        )
+        with pytest.raises(MatchingError):
+            matcher.match_against(artifact)
+
+    def test_weightless_report_in_weighted_aggregation_is_rejected(self, environment):
+        _, _, protocol, _, _ = environment
+        with pytest.raises(MatchingError):
+            protocol.aggregate([MatchReport("u", "s", weight=None)], k=None)
+
+    def test_corrupted_weight_exceeding_one_deletes_only_that_user_query(self):
+        ranker = SimilarityRanker()
+        reports = [
+            MatchReport("honest", "a", weight=Fraction(1), query_id="q"),
+            MatchReport("corrupted", "a", weight=Fraction(3, 2), query_id="q"),
+        ]
+        scores = ranker.user_scores(reports)
+        assert "honest" in scores
+        assert "corrupted" not in scores

@@ -1,0 +1,81 @@
+"""Property-based tests for the similarity ranker (Algorithm 3)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregator import SimilarityRanker
+from repro.core.protocol import MatchReport
+
+weight_strategy = st.fractions(min_value=Fraction(1, 100), max_value=1)
+
+report_strategy = st.builds(
+    MatchReport,
+    user_id=st.sampled_from([f"user-{i}" for i in range(6)]),
+    station_id=st.sampled_from([f"bs-{i}" for i in range(4)]),
+    weight=weight_strategy,
+    query_id=st.sampled_from(["qA", "qB"]),
+)
+
+
+class TestRankerProperties:
+    @given(reports=st.lists(report_strategy, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_scores_bounded_by_max_weight_sum(self, reports):
+        scores = SimilarityRanker().user_scores(reports)
+        assert all(score <= Fraction(1) for score in scores.values())
+        assert all(score > 0 for score in scores.values())
+
+    @given(reports=st.lists(report_strategy, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_ranking_sorted_descending(self, reports):
+        results = SimilarityRanker().aggregate(reports)
+        scores = [entry.score for entry in results]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(reports=st.lists(report_strategy, max_size=40), k=st.integers(0, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_top_k_is_prefix_of_full_ranking(self, reports, k):
+        ranker = SimilarityRanker()
+        full = ranker.aggregate(reports)
+        cut = ranker.aggregate(reports, k=k)
+        assert cut.user_ids() == full.user_ids()[:k]
+
+    @given(reports=st.lists(report_strategy, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_retrieved_users_are_subset_of_reported_users(self, reports):
+        results = SimilarityRanker().aggregate(reports)
+        assert set(results.user_ids()) <= {r.user_id for r in reports}
+
+    @given(reports=st.lists(report_strategy, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_report_order_does_not_matter(self, reports):
+        ranker = SimilarityRanker()
+        forward = ranker.aggregate(reports)
+        backward = ranker.aggregate(list(reversed(reports)))
+        assert forward.user_ids() == backward.user_ids()
+
+    @given(
+        per_station=st.dictionaries(
+            st.sampled_from([f"bs-{i}" for i in range(4)]),
+            st.sets(weight_strategy, min_size=1, max_size=3),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_best_weight_sum_is_achievable_and_maximal(self, per_station):
+        from itertools import product
+
+        ranker = SimilarityRanker()
+        best = ranker.best_weight_sum(per_station)
+        achievable = [
+            sum(choice, Fraction(0))
+            for choice in product(*[sorted(options) for options in per_station.values()])
+        ]
+        valid = [total for total in achievable if total <= Fraction(1)]
+        if valid:
+            assert best == max(valid)
+        else:
+            assert best is None

@@ -1,0 +1,114 @@
+"""Property-based tests for the Bloom-filter substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.hashing import HashFamily
+from repro.bloom.scalable import ScalableBloomFilter
+from repro.bloom.spectral import SpectralBloomFilter
+from repro.bloom.standard import BloomFilter
+
+items_strategy = st.lists(
+    st.one_of(st.integers(-(10**6), 10**6), st.text(max_size=20)),
+    max_size=60,
+)
+
+
+class TestBloomFilterProperties:
+    @given(items=items_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives(self, items):
+        bloom = BloomFilter(2048, 4)
+        bloom.add_many(items)
+        assert all(item in bloom for item in items)
+
+    @given(items=items_strategy, probe=st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_membership_is_deterministic(self, items, probe):
+        bloom = BloomFilter(1024, 3)
+        bloom.add_many(items)
+        assert bloom.contains(probe) == bloom.contains(probe)
+
+    @given(
+        first=items_strategy,
+        second=items_strategy,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_union_superset_of_parts(self, first, second):
+        a = BloomFilter(2048, 4, seed=1)
+        b = BloomFilter(2048, 4, seed=1)
+        a.add_many(first)
+        b.add_many(second)
+        merged = a.union(b)
+        assert all(item in merged for item in first + second)
+
+    @given(items=items_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_fill_ratio_monotone(self, items):
+        bloom = BloomFilter(512, 3)
+        previous = 0.0
+        for item in items:
+            bloom.add(item)
+            current = bloom.fill_ratio()
+            assert current >= previous
+            previous = current
+
+
+class TestCountingBloomFilterProperties:
+    @given(items=st.lists(st.integers(0, 1000), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_add_then_remove_restores_absence_safe(self, items):
+        cbf = CountingBloomFilter(2048, 4)
+        cbf.add_many(items)
+        for item in items:
+            assert cbf.contains(item)
+        for item in items:
+            cbf.remove(item)
+        # After removing everything that was added, remaining items may only be
+        # residue from saturation, and item_count must be zero.
+        assert cbf.item_count == 0
+
+    @given(items=st.lists(st.integers(0, 100), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_count_estimate_is_upper_bound(self, items):
+        cbf = CountingBloomFilter(2048, 4, counter_width_bits=8)
+        cbf.add_many(items)
+        for item in set(items):
+            assert cbf.count_estimate(item) >= items.count(item)
+
+
+class TestSpectralProperties:
+    @given(items=st.lists(st.integers(0, 50), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_never_underestimates(self, items):
+        sbf = SpectralBloomFilter(2048, 4)
+        sbf.add_many(items)
+        for item in set(items):
+            assert sbf.frequency(item) >= items.count(item)
+
+
+class TestScalableProperties:
+    @given(items=st.lists(st.integers(), min_size=1, max_size=120, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_under_growth(self, items):
+        sbf = ScalableBloomFilter(initial_capacity=8)
+        sbf.add_many(items)
+        assert all(item in sbf for item in items)
+        assert sbf.item_count == len(items)
+
+
+class TestHashFamilyProperties:
+    @given(
+        item=st.one_of(st.integers(), st.text(max_size=30), st.tuples(st.integers(), st.integers())),
+        hash_count=st.integers(1, 16),
+        value_range=st.integers(1, 10_000),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_positions_always_in_range_and_stable(self, item, hash_count, value_range, seed):
+        family = HashFamily(hash_count, value_range, seed=seed)
+        positions = family.positions(item)
+        assert len(positions) == hash_count
+        assert all(0 <= p < value_range for p in positions)
+        assert positions == family.positions(item)

@@ -1,0 +1,81 @@
+"""Property-based tests of end-to-end DI-matching invariants on tiny random datasets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DIMatchingConfig
+from repro.core.dimatching import DIMatchingProtocol
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+# Fragments are value lists over a fixed 6-interval horizon.
+fragment_strategy = st.lists(st.integers(0, 8), min_size=6, max_size=6)
+
+
+def _non_zero(fragments):
+    return any(any(values) for values in fragments)
+
+
+class TestDIMatchingInvariants:
+    @given(fragments=st.lists(fragment_strategy, min_size=1, max_size=3).filter(_non_zero))
+    @settings(max_examples=60, deadline=None)
+    def test_query_owner_always_retrieved_with_score_one(self, fragments):
+        """A user whose per-station data equals the query's own fragments must match."""
+        locals_ = [
+            LocalPattern("query-user", values, f"bs-{i}")
+            for i, values in enumerate(fragments)
+            if any(values)
+        ]
+        query = QueryPattern("q", locals_)
+        protocol = DIMatchingProtocol(DIMatchingConfig(sample_count=4))
+        artifact = protocol.encode([query])
+        reports = []
+        for fragment in locals_:
+            patterns = PatternSet([LocalPattern("candidate", fragment.values, fragment.station_id)])
+            reports.extend(protocol.station_match(fragment.station_id, patterns, artifact))
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids()[0] == "candidate"
+        assert results.users[0].score == 1.0
+
+    @given(fragments=st.lists(fragment_strategy, min_size=1, max_size=3).filter(_non_zero))
+    @settings(max_examples=60, deadline=None)
+    def test_colocated_candidate_also_retrieved(self, fragments):
+        """A candidate holding the whole pattern at a single station must also match."""
+        locals_ = [
+            LocalPattern("query-user", values, f"bs-{i}")
+            for i, values in enumerate(fragments)
+            if any(values)
+        ]
+        query = QueryPattern("q", locals_)
+        protocol = DIMatchingProtocol(DIMatchingConfig(sample_count=4))
+        artifact = protocol.encode([query])
+        whole = list(query.global_pattern.values)
+        patterns = PatternSet([LocalPattern("colocated", whole, "bs-single")])
+        reports = protocol.station_match("bs-single", patterns, artifact)
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids() == ["colocated"]
+        assert results.users[0].score == 1.0
+
+    @given(
+        fragments=st.lists(fragment_strategy, min_size=1, max_size=2).filter(_non_zero),
+        copies=st.integers(2, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replicated_decoy_never_scores_one(self, fragments, copies):
+        """The paper's over-matching case: whole-pattern copies at several stations."""
+        locals_ = [
+            LocalPattern("query-user", values, f"bs-{i}")
+            for i, values in enumerate(fragments)
+            if any(values)
+        ]
+        query = QueryPattern("q", locals_)
+        protocol = DIMatchingProtocol(DIMatchingConfig(sample_count=4))
+        artifact = protocol.encode([query])
+        whole = list(query.global_pattern.values)
+        reports = []
+        for copy_index in range(copies):
+            station = f"bs-copy-{copy_index}"
+            patterns = PatternSet([LocalPattern("decoy", whole, station)])
+            reports.extend(protocol.station_match(station, patterns, artifact))
+        results = protocol.aggregate(reports, k=None)
+        assert "decoy" not in results.user_ids()

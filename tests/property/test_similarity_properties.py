@@ -1,0 +1,73 @@
+"""Property-based tests for similarity measures and sampling."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.sampling import uniform_sample, uniform_sample_indices
+from repro.timeseries.similarity import (
+    chebyshev_distance,
+    epsilon_similar,
+    l1_distance,
+    l2_distance,
+)
+
+pair_strategy = st.integers(1, 40).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 500), min_size=n, max_size=n),
+        st.lists(st.integers(0, 500), min_size=n, max_size=n),
+    )
+)
+
+
+class TestDistanceProperties:
+    @given(pair=pair_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert l1_distance(a, b) == l1_distance(b, a)
+        assert chebyshev_distance(a, b) == chebyshev_distance(b, a)
+        assert l2_distance(a, b) == l2_distance(b, a)
+
+    @given(values=st.lists(st.integers(0, 500), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, values):
+        assert l1_distance(values, values) == 0
+        assert chebyshev_distance(values, values) == 0
+
+    @given(pair=pair_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_metric_ordering(self, pair):
+        a, b = pair
+        assert chebyshev_distance(a, b) <= l2_distance(a, b) + 1e-9
+        assert l2_distance(a, b) <= l1_distance(a, b) + 1e-9
+
+    @given(pair=pair_strategy, epsilon=st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_epsilon_similarity_equals_chebyshev_bound(self, pair, epsilon):
+        a, b = pair
+        assert epsilon_similar(a, b, epsilon) == (chebyshev_distance(a, b) <= epsilon)
+
+    @given(pair=pair_strategy, epsilon=st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_epsilon_similarity_monotone_in_epsilon(self, pair, epsilon):
+        a, b = pair
+        if epsilon_similar(a, b, epsilon):
+            assert epsilon_similar(a, b, epsilon + 1)
+
+
+class TestSamplingProperties:
+    @given(length=st.integers(1, 500), count=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_indices_valid_sorted_unique_and_include_last(self, length, count):
+        indices = uniform_sample_indices(length, count)
+        assert indices == sorted(set(indices))
+        assert all(0 <= i < length for i in indices)
+        assert indices[-1] == length - 1
+        assert len(indices) <= max(count + 1, min(count, length) + 1)
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=200), count=st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_sampled_values_come_from_input(self, values, count):
+        sampled = uniform_sample(values, count)
+        assert all(any(v == candidate for candidate in values) for v in sampled)
+        assert sampled[-1] == values[-1]

@@ -1,0 +1,90 @@
+"""Property-based tests for the accumulation transform and combinations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.combinations import combination_count, enumerate_pattern_combinations
+from repro.timeseries.pattern import LocalPattern
+from repro.timeseries.transform import accumulate, deaccumulate, is_non_decreasing
+
+values_strategy = st.lists(st.integers(0, 1000), min_size=1, max_size=60)
+
+
+class TestAccumulationProperties:
+    @given(values=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, values):
+        assert deaccumulate(accumulate(values)) == values
+
+    @given(values=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_for_non_negative_values(self, values):
+        assert is_non_decreasing(accumulate(values))
+
+    @given(values=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_last_element_is_total(self, values):
+        assert accumulate(values)[-1] == sum(values)
+
+    @given(values=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_length_preserved(self, values):
+        assert len(accumulate(values)) == len(values)
+
+    @given(first=values_strategy, second=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_injective_on_equal_length_inputs(self, first, second):
+        # The transform is a bijection, so distinct inputs of the same length give
+        # distinct outputs (this is what lets it distinguish {1,2,3} from {3,2,1}).
+        if len(first) == len(second) and first != second:
+            assert accumulate(first) != accumulate(second)
+
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_linearity(self, values):
+        doubled = [2 * v for v in values]
+        assert accumulate(doubled) == [2 * v for v in accumulate(values)]
+
+
+class TestCombinationProperties:
+    @given(
+        fragments=st.lists(
+            st.lists(st.integers(0, 50), min_size=3, max_size=3), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_combination_count_matches_formula(self, fragments):
+        locals_ = [
+            LocalPattern("u", values, f"bs-{i}") for i, values in enumerate(fragments)
+        ]
+        combos = enumerate_pattern_combinations(locals_)
+        assert len(combos) == combination_count(len(locals_))
+
+    @given(
+        fragments=st.lists(
+            st.lists(st.integers(0, 50), min_size=4, max_size=4), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_full_combination_equals_per_interval_sum(self, fragments):
+        locals_ = [
+            LocalPattern("u", values, f"bs-{i}") for i, values in enumerate(fragments)
+        ]
+        combos = enumerate_pattern_combinations(locals_)
+        expected = tuple(sum(column) for column in zip(*fragments))
+        assert combos[-1].values == expected
+
+    @given(
+        fragments=st.lists(
+            st.lists(st.integers(0, 20), min_size=2, max_size=2), min_size=2, max_size=4
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_combination_dominated_by_global(self, fragments):
+        locals_ = [
+            LocalPattern("u", values, f"bs-{i}") for i, values in enumerate(fragments)
+        ]
+        combos = enumerate_pattern_combinations(locals_)
+        global_values = combos[-1].values
+        for combo in combos:
+            assert all(c <= g for c, g in zip(combo.values, global_values))

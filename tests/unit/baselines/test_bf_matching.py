@@ -1,0 +1,79 @@
+"""Unit tests for the plain-Bloom-filter baseline."""
+
+import pytest
+
+from repro.baselines.bf_matching import BloomFilterProtocol
+from repro.bloom.standard import BloomFilter
+from repro.core.config import DIMatchingConfig
+from repro.core.exceptions import MatchingError
+from repro.core.protocol import MatchReport
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+
+def _query():
+    return QueryPattern(
+        "q0",
+        [
+            LocalPattern("alice", [2, 0, 0, 3], "bs-1"),
+            LocalPattern("alice", [0, 4, 5, 0], "bs-2"),
+        ],
+    )
+
+
+@pytest.fixture()
+def protocol():
+    return BloomFilterProtocol(DIMatchingConfig(sample_count=4))
+
+
+class TestBloomFilterProtocol:
+    def test_name(self, protocol):
+        assert protocol.name == "bf"
+
+    def test_encode_returns_plain_bloom_filter(self, protocol):
+        assert isinstance(protocol.encode([_query()]), BloomFilter)
+
+    def test_station_match_reports_without_weights(self, protocol):
+        artifact = protocol.encode([_query()])
+        patterns = PatternSet([LocalPattern("alice", [2, 4, 5, 3], "bs-9")])
+        reports = protocol.station_match("bs-9", patterns, artifact)
+        assert len(reports) == 1
+        assert reports[0].weight is None
+
+    def test_over_matching_user_not_filtered(self, protocol):
+        # The decoy whose fragments each equal the full query pattern is retrieved by
+        # the BF baseline (it has no weight-sum rule) — this is the false positive
+        # the WBF eliminates.
+        artifact = protocol.encode([_query()])
+        decoy_fragment = [2, 4, 5, 3]
+        reports = []
+        for station in ("bs-a", "bs-b"):
+            patterns = PatternSet([LocalPattern("decoy", decoy_fragment, station)])
+            reports.extend(protocol.station_match(station, patterns, artifact))
+        results = protocol.aggregate(reports, k=None)
+        assert "decoy" in results.user_ids()
+
+    def test_aggregate_ranks_by_station_count(self, protocol):
+        reports = [
+            MatchReport("two-stations", "a"),
+            MatchReport("two-stations", "b"),
+            MatchReport("one-station", "a"),
+        ]
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids() == ["two-stations", "one-station"]
+
+    def test_aggregate_top_k(self, protocol):
+        reports = [MatchReport(f"u{i}", "a") for i in range(6)]
+        assert len(protocol.aggregate(reports, k=4)) == 4
+
+    def test_station_match_rejects_wrong_artifact(self, protocol):
+        with pytest.raises(MatchingError):
+            protocol.station_match("bs", PatternSet(), artifact=object())
+
+    def test_aggregate_rejects_foreign_reports(self, protocol):
+        with pytest.raises(MatchingError):
+            protocol.aggregate([object()], k=None)
+
+    def test_config_property(self):
+        config = DIMatchingConfig(sample_count=6)
+        assert BloomFilterProtocol(config).config is config

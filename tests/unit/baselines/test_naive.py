@@ -1,0 +1,97 @@
+"""Unit tests for the naive centralised baseline (Approach 1)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveProtocol
+from repro.core.exceptions import MatchingError
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+
+def _query():
+    return QueryPattern(
+        "q0",
+        [
+            LocalPattern("alice", [1, 0, 2], "bs-1"),
+            LocalPattern("alice", [2, 4, 3], "bs-2"),
+        ],
+    )
+
+
+class TestNaiveProtocol:
+    def test_name_and_epsilon(self):
+        protocol = NaiveProtocol(epsilon=2)
+        assert protocol.name == "naive"
+        assert protocol.epsilon == 2
+
+    def test_encode_returns_none(self):
+        assert NaiveProtocol().encode([_query()]) is None
+
+    def test_station_match_uploads_everything(self):
+        protocol = NaiveProtocol()
+        patterns = PatternSet(
+            [LocalPattern("u1", [1, 1, 1], "bs-1"), LocalPattern("u2", [2, 2, 2], "bs-1")]
+        )
+        reports = protocol.station_match("bs-1", patterns, None)
+        assert len(reports) == 2
+
+    def test_aggregate_reconstructs_globals_and_matches(self):
+        protocol = NaiveProtocol(epsilon=0)
+        protocol.encode([_query()])
+        reports = [
+            LocalPattern("bob", [1, 0, 2], "bs-7"),
+            LocalPattern("bob", [2, 4, 3], "bs-8"),
+            LocalPattern("carol", [9, 9, 9], "bs-7"),
+        ]
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids() == ["bob"]
+
+    def test_aggregate_with_epsilon_tolerance(self):
+        protocol = NaiveProtocol(epsilon=1)
+        protocol.encode([_query()])
+        reports = [LocalPattern("near", [3, 5, 5], "bs-1")]
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids() == ["near"]
+
+    def test_exact_match_ranks_above_approximate(self):
+        protocol = NaiveProtocol(epsilon=1)
+        protocol.encode([_query()])
+        reports = [
+            LocalPattern("approx", [3, 5, 5], "bs-1"),
+            LocalPattern("exact", [3, 4, 5], "bs-1"),
+        ]
+        assert protocol.aggregate(reports, k=None).user_ids()[0] == "exact"
+
+    def test_top_k_cutoff(self):
+        protocol = NaiveProtocol(epsilon=5)
+        protocol.encode([_query()])
+        reports = [LocalPattern(f"u{i}", [3, 4, 5], "bs") for i in range(5)]
+        assert len(protocol.aggregate(reports, k=2)) == 2
+
+    def test_aggregate_before_encode_rejected(self):
+        with pytest.raises(MatchingError):
+            NaiveProtocol().aggregate([], k=None)
+
+    def test_aggregate_rejects_non_pattern_reports(self):
+        protocol = NaiveProtocol()
+        protocol.encode([_query()])
+        with pytest.raises(MatchingError):
+            protocol.aggregate(["garbage"], k=None)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveProtocol(epsilon=-1)
+
+    def test_oracle_matches_ground_truth_on_dataset(self, small_dataset, small_workload):
+        from repro.evaluation.experiments import ground_truth_users
+
+        protocol = NaiveProtocol(epsilon=small_workload.epsilon)
+        queries = list(small_workload.queries)
+        protocol.encode(queries)
+        reports = []
+        for station_id in small_dataset.station_ids:
+            patterns = small_dataset.local_patterns_at(station_id)
+            reports.extend(protocol.station_match(station_id, patterns, None))
+        retrieved = set(protocol.aggregate(reports, k=None).user_ids())
+        truth = ground_truth_users(small_dataset, queries, small_workload.epsilon)
+        assert retrieved == set(truth)

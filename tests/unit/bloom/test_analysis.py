@@ -1,0 +1,72 @@
+"""Unit tests for Bloom-filter sizing and false-positive analysis."""
+
+import math
+
+import pytest
+
+from repro.bloom.analysis import (
+    expected_false_positive_rate,
+    fill_ratio,
+    optimal_bit_count,
+    optimal_hash_count,
+    optimal_parameters,
+    probability_bit_zero,
+)
+from repro.bloom.standard import BloomFilter
+
+
+class TestClosedForms:
+    def test_probability_bit_zero_empty_filter(self):
+        assert probability_bit_zero(100, 3, 0) == 1.0
+
+    def test_probability_bit_zero_decreases_with_items(self):
+        assert probability_bit_zero(100, 3, 10) > probability_bit_zero(100, 3, 50)
+
+    def test_fill_ratio_complements_zero_probability(self):
+        assert fill_ratio(128, 4, 20) == pytest.approx(1 - probability_bit_zero(128, 4, 20))
+
+    def test_fp_rate_zero_for_empty_filter(self):
+        assert expected_false_positive_rate(100, 3, 0) == 0.0
+
+    def test_fp_rate_monotone_in_items(self):
+        rates = [expected_false_positive_rate(1024, 4, n) for n in (10, 100, 500)]
+        assert rates == sorted(rates)
+
+    def test_fp_rate_matches_exponential_approximation(self):
+        m, k, n = 10_000, 5, 1_000
+        exact = expected_false_positive_rate(m, k, n)
+        approx = (1 - math.exp(-k * n / m)) ** k
+        assert exact == pytest.approx(approx, rel=0.05)
+
+
+class TestSizing:
+    def test_optimal_hash_count_formula(self):
+        assert optimal_hash_count(1000, 100) == round(10 * math.log(2))
+
+    def test_optimal_hash_count_at_least_one(self):
+        assert optimal_hash_count(10, 1000) == 1
+
+    def test_optimal_bit_count_one_percent(self):
+        bits = optimal_bit_count(1000, 0.01)
+        assert 9000 < bits < 10_000
+
+    def test_optimal_bit_count_rejects_degenerate_rates(self):
+        with pytest.raises(ValueError):
+            optimal_bit_count(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_bit_count(10, 1.0)
+
+    def test_optimal_parameters_achieve_target_empirically(self):
+        item_count, target = 500, 0.02
+        bit_count, hash_count = optimal_parameters(item_count, target)
+        bloom = BloomFilter(bit_count, hash_count)
+        bloom.add_many(range(item_count))
+        probes = range(100_000, 105_000)
+        measured = sum(1 for v in probes if v in bloom) / len(probes)
+        assert measured < 3 * target
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            probability_bit_zero(0, 1, 1)
+        with pytest.raises(ValueError):
+            optimal_hash_count(0, 10)

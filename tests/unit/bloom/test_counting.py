@@ -1,0 +1,76 @@
+"""Unit tests for the counting Bloom filter."""
+
+import pytest
+
+from repro.bloom.counting import CountingBloomFilter
+
+
+class TestAddRemove:
+    def test_added_items_found(self):
+        cbf = CountingBloomFilter(512, 4)
+        cbf.add_many(range(30))
+        assert all(cbf.contains(v) for v in range(30))
+
+    def test_remove_added_item(self):
+        cbf = CountingBloomFilter(512, 4)
+        cbf.add("x")
+        assert cbf.remove("x") is True
+        assert not cbf.contains("x")
+
+    def test_remove_absent_item_returns_false(self):
+        cbf = CountingBloomFilter(512, 4)
+        cbf.add("present")
+        assert cbf.remove("definitely-absent") is False
+
+    def test_remove_keeps_other_items(self):
+        cbf = CountingBloomFilter(1024, 4)
+        cbf.add_many([f"k{i}" for i in range(50)])
+        cbf.remove("k0")
+        assert all(cbf.contains(f"k{i}") for i in range(1, 50))
+
+    def test_item_count_tracks_add_and_remove(self):
+        cbf = CountingBloomFilter(256, 3)
+        cbf.add("a")
+        cbf.add("b")
+        cbf.remove("a")
+        assert cbf.item_count == 1
+
+    def test_count_estimate_never_underestimates(self):
+        cbf = CountingBloomFilter(512, 4)
+        for _ in range(3):
+            cbf.add("dup")
+        assert cbf.count_estimate("dup") >= 3
+
+
+class TestSaturation:
+    def test_counters_saturate_without_overflow(self):
+        cbf = CountingBloomFilter(64, 2, counter_width_bits=2)
+        for _ in range(20):
+            cbf.add("same")
+        assert cbf.count_estimate("same") <= 3
+        assert cbf.contains("same")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0, 2)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(8, 0)
+
+
+class TestIntrospection:
+    def test_fill_ratio(self):
+        cbf = CountingBloomFilter(128, 2)
+        assert cbf.fill_ratio() == 0.0
+        cbf.add("x")
+        assert cbf.fill_ratio() > 0.0
+
+    def test_estimated_false_positive_rate(self):
+        cbf = CountingBloomFilter(128, 2)
+        cbf.add_many(range(20))
+        assert 0.0 < cbf.estimated_false_positive_rate() < 1.0
+
+    def test_size_bytes_uses_counter_width(self):
+        assert CountingBloomFilter(16, 2, counter_width_bits=4).size_bytes() == 8
+
+    def test_repr(self):
+        assert "CountingBloomFilter" in repr(CountingBloomFilter(16, 2))

@@ -1,0 +1,80 @@
+"""Unit tests for the hash family."""
+
+import pytest
+
+from repro.bloom.hashing import HashFamily, canonical_item_bytes
+
+
+class TestCanonicalItemBytes:
+    def test_int_and_string_differ(self):
+        assert canonical_item_bytes(1) != canonical_item_bytes("1")
+
+    def test_bool_and_int_differ(self):
+        assert canonical_item_bytes(True) != canonical_item_bytes(1)
+
+    def test_tuple_encoding_is_structural(self):
+        assert canonical_item_bytes((1, 2)) != canonical_item_bytes((2, 1))
+        assert canonical_item_bytes((1, 2)) == canonical_item_bytes((1, 2))
+
+    def test_nested_tuples(self):
+        assert canonical_item_bytes(((1,), 2)) != canonical_item_bytes((1, (2,)))
+
+    def test_float_encoding(self):
+        assert canonical_item_bytes(1.5) == canonical_item_bytes(1.5)
+
+    def test_bytes_passthrough(self):
+        assert canonical_item_bytes(b"xy").endswith(b"xy")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_item_bytes({"a": 1})
+
+
+class TestHashFamily:
+    def test_positions_in_range(self):
+        family = HashFamily(hash_count=5, value_range=97)
+        for item in [0, 1, "abc", (3, 4)]:
+            positions = family.positions(item)
+            assert len(positions) == 5
+            assert all(0 <= p < 97 for p in positions)
+
+    def test_deterministic(self):
+        family = HashFamily(4, 1024, seed=3)
+        assert family.positions("x") == family.positions("x")
+
+    def test_seed_changes_positions(self):
+        a = HashFamily(4, 1024, seed=0)
+        b = HashFamily(4, 1024, seed=1)
+        assert a.positions("x") != b.positions("x")
+
+    def test_different_items_mostly_differ(self):
+        family = HashFamily(4, 1 << 20)
+        assert family.positions("a") != family.positions("b")
+
+    def test_positions_many(self):
+        family = HashFamily(2, 64)
+        results = family.positions_many(["a", "b"])
+        assert len(results) == 2
+        assert results[0] == family.positions("a")
+
+    def test_with_range_preserves_k_and_seed(self):
+        family = HashFamily(3, 64, seed=7)
+        resized = family.with_range(128)
+        assert resized.hash_count == 3
+        assert resized.seed == 7
+        assert resized.value_range == 128
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, 10)
+        with pytest.raises(ValueError):
+            HashFamily(1, 0)
+
+    def test_properties(self):
+        family = HashFamily(3, 50, seed=2)
+        assert family.hash_count == 3
+        assert family.value_range == 50
+        assert family.seed == 2
+
+    def test_repr(self):
+        assert "hash_count=3" in repr(HashFamily(3, 50))

@@ -1,0 +1,53 @@
+"""Unit tests for the partitioned Bloom filter."""
+
+import pytest
+
+from repro.bloom.partitioned import PartitionedBloomFilter
+
+
+class TestBasicOperations:
+    def test_no_false_negatives(self):
+        pbf = PartitionedBloomFilter(1024, 4)
+        items = [f"v-{i}" for i in range(100)]
+        pbf.add_many(items)
+        assert all(item in pbf for item in items)
+
+    def test_absent_items_mostly_rejected(self):
+        pbf = PartitionedBloomFilter(4096, 4)
+        pbf.add_many(range(100))
+        false_positives = sum(1 for value in range(10_000, 11_000) if value in pbf)
+        assert false_positives < 60
+
+    def test_partition_size(self):
+        pbf = PartitionedBloomFilter(100, 4)
+        assert pbf.partition_size == 25
+        assert pbf.bit_count == 100
+
+    def test_item_count(self):
+        pbf = PartitionedBloomFilter(64, 2)
+        pbf.add_many(["a", "b"])
+        assert pbf.item_count == 2
+
+    def test_fill_ratio_bounded(self):
+        pbf = PartitionedBloomFilter(128, 4)
+        pbf.add_many(range(10))
+        assert 0.0 < pbf.fill_ratio() <= 1.0
+
+
+class TestValidation:
+    def test_bit_count_must_cover_hash_count(self):
+        with pytest.raises(ValueError):
+            PartitionedBloomFilter(2, 4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PartitionedBloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            PartitionedBloomFilter(16, 0)
+
+    def test_size_bytes(self):
+        pbf = PartitionedBloomFilter(64, 4)
+        assert pbf.size_bytes() == 4 * ((16 + 7) // 8)
+
+    def test_repr(self):
+        assert "PartitionedBloomFilter" in repr(PartitionedBloomFilter(64, 4))

@@ -1,0 +1,60 @@
+"""Unit tests for the scalable Bloom filter."""
+
+import pytest
+
+from repro.bloom.scalable import ScalableBloomFilter
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        sbf = ScalableBloomFilter(initial_capacity=32, target_false_positive_rate=0.01)
+        sbf.add_many(range(200))
+        assert sbf.slice_count > 1
+        assert sbf.item_count == 200
+
+    def test_no_false_negatives_across_slices(self):
+        sbf = ScalableBloomFilter(initial_capacity=16)
+        items = [f"item-{i}" for i in range(300)]
+        sbf.add_many(items)
+        assert all(item in sbf for item in items)
+
+    def test_single_slice_before_capacity(self):
+        sbf = ScalableBloomFilter(initial_capacity=64)
+        sbf.add_many(range(10))
+        assert sbf.slice_count == 1
+
+    def test_false_positive_rate_bounded(self):
+        sbf = ScalableBloomFilter(initial_capacity=64, target_false_positive_rate=0.01)
+        sbf.add_many(range(500))
+        probes = range(10_000, 12_000)
+        false_positives = sum(1 for value in probes if value in sbf)
+        assert false_positives / len(probes) < 5 * sbf.target_false_positive_rate
+
+    def test_size_bytes_grows_with_slices(self):
+        sbf = ScalableBloomFilter(initial_capacity=16)
+        initial = sbf.size_bytes()
+        sbf.add_many(range(200))
+        assert sbf.size_bytes() > initial
+
+
+class TestValidation:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(initial_capacity=0)
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_fp_rate(self, rate):
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(target_false_positive_rate=rate)
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.0])
+    def test_invalid_tightening_ratio(self, ratio):
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(tightening_ratio=ratio)
+
+    def test_target_rate_property(self):
+        sbf = ScalableBloomFilter(target_false_positive_rate=0.01, tightening_ratio=0.5)
+        assert sbf.target_false_positive_rate == pytest.approx(0.02)
+
+    def test_repr(self):
+        assert "ScalableBloomFilter" in repr(ScalableBloomFilter())

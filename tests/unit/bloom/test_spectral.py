@@ -1,0 +1,58 @@
+"""Unit tests for the spectral Bloom filter."""
+
+import pytest
+
+from repro.bloom.spectral import SpectralBloomFilter
+
+
+class TestFrequencies:
+    def test_frequency_never_underestimates(self):
+        sbf = SpectralBloomFilter(1024, 4)
+        for value in range(30):
+            for _ in range(value % 5 + 1):
+                sbf.add(value)
+        for value in range(30):
+            assert sbf.frequency(value) >= value % 5 + 1
+
+    def test_absent_item_frequency_usually_zero(self):
+        sbf = SpectralBloomFilter(4096, 4)
+        sbf.add_many(range(100))
+        overestimates = sum(1 for value in range(5000, 6000) if sbf.frequency(value) > 0)
+        assert overestimates < 50
+
+    def test_bulk_add_with_count(self):
+        sbf = SpectralBloomFilter(256, 3)
+        sbf.add("x", count=7)
+        assert sbf.frequency("x") >= 7
+        assert sbf.item_count == 7
+
+    def test_contains_matches_frequency(self):
+        sbf = SpectralBloomFilter(256, 3)
+        sbf.add("present")
+        assert "present" in sbf
+
+    def test_minimal_increase_keeps_estimates_tight(self):
+        sbf = SpectralBloomFilter(512, 4)
+        for _ in range(10):
+            sbf.add("hot")
+        sbf.add("cold")
+        assert sbf.frequency("cold") < 10
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SpectralBloomFilter(0, 2)
+        with pytest.raises(ValueError):
+            SpectralBloomFilter(16, 0)
+
+    def test_invalid_count(self):
+        sbf = SpectralBloomFilter(16, 2)
+        with pytest.raises(ValueError):
+            sbf.add("x", count=0)
+
+    def test_size_bytes(self):
+        assert SpectralBloomFilter(100, 2).size_bytes() == 400
+
+    def test_repr(self):
+        assert "SpectralBloomFilter" in repr(SpectralBloomFilter(16, 2))

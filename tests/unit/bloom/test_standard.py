@@ -1,0 +1,81 @@
+"""Unit tests for the classic Bloom filter."""
+
+import pytest
+
+from repro.bloom.standard import BloomFilter
+
+
+class TestBasicOperations:
+    def test_added_items_are_found(self):
+        bloom = BloomFilter(bit_count=1024, hash_count=4)
+        for value in range(50):
+            bloom.add(value)
+        assert all(value in bloom for value in range(50))
+
+    def test_no_false_negatives_for_strings(self):
+        bloom = BloomFilter(2048, 5)
+        words = [f"user-{i}" for i in range(100)]
+        bloom.add_many(words)
+        assert all(bloom.contains(word) for word in words)
+
+    def test_unadded_items_mostly_absent(self):
+        bloom = BloomFilter(4096, 4)
+        bloom.add_many(range(100))
+        false_positives = sum(1 for value in range(1000, 2000) if value in bloom)
+        assert false_positives < 50
+
+    def test_item_count_tracks_insertions(self):
+        bloom = BloomFilter(128, 2)
+        bloom.add_many(["a", "b", "a"])
+        assert bloom.item_count == 3
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(128, 2)
+        assert "missing" not in bloom
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)
+
+
+class TestIntrospection:
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(256, 3)
+        before = bloom.fill_ratio()
+        bloom.add_many(range(20))
+        assert bloom.fill_ratio() > before
+
+    def test_estimated_false_positive_rate_grows(self):
+        bloom = BloomFilter(256, 3)
+        empty_rate = bloom.estimated_false_positive_rate()
+        bloom.add_many(range(50))
+        assert bloom.estimated_false_positive_rate() > empty_rate
+
+    def test_size_bytes(self):
+        assert BloomFilter(1024, 4).size_bytes() == 128
+
+    def test_repr_mentions_parameters(self):
+        assert "m=64" in repr(BloomFilter(64, 2))
+
+
+class TestUnion:
+    def test_union_contains_both_sets(self):
+        a = BloomFilter(512, 3, seed=9)
+        b = BloomFilter(512, 3, seed=9)
+        a.add_many(range(10))
+        b.add_many(range(10, 20))
+        merged = a.union(b)
+        assert all(value in merged for value in range(20))
+        assert merged.item_count == 20
+
+    def test_union_requires_same_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(512, 3).union(BloomFilter(256, 3))
+        with pytest.raises(ValueError):
+            BloomFilter(512, 3, seed=1).union(BloomFilter(512, 3, seed=2))
+
+    def test_union_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            BloomFilter(64, 2).union(object())

@@ -1,0 +1,71 @@
+"""Unit tests for the DI-matching protocol orchestration."""
+
+import pytest
+
+from repro.core.config import DIMatchingConfig
+from repro.core.dimatching import DIMatchingProtocol, run_dimatching
+from repro.core.encoder import EncodedQueryBatch
+from repro.core.exceptions import MatchingError
+from repro.core.protocol import MatchReport
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+
+def _query():
+    return QueryPattern(
+        "q0",
+        [
+            LocalPattern("alice", [1, 0, 2, 0], "bs-1"),
+            LocalPattern("alice", [0, 3, 0, 4], "bs-2"),
+        ],
+    )
+
+
+class TestProtocolInterface:
+    def test_name(self):
+        assert DIMatchingProtocol().name == "wbf"
+
+    def test_encode_returns_batch(self):
+        protocol = DIMatchingProtocol(DIMatchingConfig(sample_count=4))
+        assert isinstance(protocol.encode([_query()]), EncodedQueryBatch)
+
+    def test_station_match_and_aggregate_roundtrip(self):
+        protocol = DIMatchingProtocol(DIMatchingConfig(sample_count=4))
+        artifact = protocol.encode([_query()])
+        patterns = PatternSet([LocalPattern("alice", [1, 3, 2, 4], "bs-x")])
+        reports = protocol.station_match("bs-x", patterns, artifact)
+        assert reports and all(isinstance(r, MatchReport) for r in reports)
+        results = protocol.aggregate(reports, k=None)
+        assert results.user_ids() == ["alice"]
+        assert results.users[0].score == 1.0
+
+    def test_station_match_rejects_wrong_artifact(self):
+        protocol = DIMatchingProtocol()
+        with pytest.raises(MatchingError):
+            protocol.station_match("bs-x", PatternSet(), artifact="not-a-batch")
+
+    def test_aggregate_rejects_foreign_reports(self):
+        protocol = DIMatchingProtocol()
+        with pytest.raises(MatchingError):
+            protocol.aggregate(["bogus"], k=None)
+
+    def test_config_property(self):
+        config = DIMatchingConfig(sample_count=6)
+        assert DIMatchingProtocol(config).config is config
+
+
+class TestRunDimatching:
+    def test_end_to_end_on_dataset(self, small_dataset, small_workload, exact_config):
+        queries = list(small_workload.queries)
+        results = run_dimatching(small_dataset, queries, exact_config, k=None)
+        retrieved = set(results.user_ids())
+        # Every query user must retrieve themselves with a complete match.
+        for query in queries:
+            assert query.local_patterns[0].user_id in retrieved
+
+    def test_retrieved_users_exist_in_dataset(self, small_dataset, small_workload, exact_config):
+        results = run_dimatching(
+            small_dataset, list(small_workload.queries), exact_config, k=5
+        )
+        assert len(results) <= 5
+        assert all(u in set(small_dataset.user_ids) for u in results.user_ids())

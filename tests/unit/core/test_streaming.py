@@ -1,0 +1,123 @@
+"""Unit tests for the continuous (incremental) matching session."""
+
+import pytest
+
+from repro.baselines.bf_matching import BloomFilterProtocol
+from repro.core.config import DIMatchingConfig
+from repro.core.dimatching import DIMatchingProtocol
+from repro.core.streaming import ContinuousMatchingSession
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+
+def _query():
+    return QueryPattern(
+        "q0",
+        [
+            LocalPattern("alice", [1, 0, 2, 0], "bs-1"),
+            LocalPattern("alice", [0, 3, 0, 4], "bs-2"),
+        ],
+    )
+
+
+@pytest.fixture()
+def session():
+    return ContinuousMatchingSession(
+        DIMatchingProtocol(DIMatchingConfig(sample_count=4)), [_query()]
+    )
+
+
+class TestConstruction:
+    def test_encodes_once_at_construction(self, session):
+        assert session.artifact is not None
+        assert session.queries[0].query_id == "q0"
+        assert session.update_count == 0
+
+    def test_rejects_non_protocol(self):
+        with pytest.raises(TypeError):
+            ContinuousMatchingSession("wbf", [_query()])
+
+    def test_rejects_empty_queries(self):
+        with pytest.raises(ValueError):
+            ContinuousMatchingSession(DIMatchingProtocol(), [])
+
+
+class TestUpdates:
+    def test_update_station_produces_reports(self, session):
+        count = session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [1, 0, 2, 0], "bs-1")])
+        )
+        assert count == 1
+        assert session.station_ids == ["bs-1"]
+        assert session.matching_runs == 1
+
+    def test_results_refresh_as_stations_report(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [1, 0, 2, 0], "bs-1")])
+        )
+        partial = session.current_results()
+        assert partial.user_ids() == ["bob"]
+        assert partial.users[0].score < 1.0
+
+        session.update_station(
+            "bs-2", PatternSet([LocalPattern("bob", [0, 3, 0, 4], "bs-2")])
+        )
+        complete = session.current_results()
+        assert complete.users[0].score == 1.0
+
+    def test_update_replaces_previous_station_state(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [1, 0, 2, 0], "bs-1")])
+        )
+        # The user's data at bs-1 changes to something unrelated: the old report must
+        # not linger.
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [9, 9, 9, 9], "bs-1")])
+        )
+        assert session.current_results().user_ids() == []
+
+    def test_only_updated_station_is_rematched(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [1, 0, 2, 0], "bs-1")])
+        )
+        session.update_station(
+            "bs-2", PatternSet([LocalPattern("bob", [0, 3, 0, 4], "bs-2")])
+        )
+        runs_before = session.matching_runs
+        session.update_station(
+            "bs-2", PatternSet([LocalPattern("bob", [0, 3, 0, 4], "bs-2")])
+        )
+        assert session.matching_runs == runs_before + 1
+
+    def test_remove_station(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [1, 3, 2, 4], "bs-1")])
+        )
+        session.remove_station("bs-1")
+        assert session.current_results().user_ids() == []
+
+    def test_rejects_non_pattern_set(self, session):
+        with pytest.raises(TypeError):
+            session.update_station("bs-1", [LocalPattern("bob", [1, 0, 2, 0], "bs-1")])
+
+    def test_top_k_cutoff(self, session):
+        for index in range(3):
+            session.update_station(
+                f"bs-{index}",
+                PatternSet([LocalPattern(f"user-{index}", [1, 3, 2, 4], f"bs-{index}")]),
+            )
+        assert len(session.current_results(k=2)) == 2
+
+
+class TestWithOtherProtocols:
+    def test_works_with_plain_bf_protocol(self):
+        session = ContinuousMatchingSession(
+            BloomFilterProtocol(DIMatchingConfig(sample_count=4)), [_query()]
+        )
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [1, 3, 2, 4], "bs-1")])
+        )
+        assert session.current_results().user_ids() == ["bob"]
+
+    def test_repr(self, session):
+        assert "ContinuousMatchingSession" in repr(session)

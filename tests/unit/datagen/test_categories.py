@@ -1,0 +1,99 @@
+"""Unit tests for the occupation-category profiles."""
+
+import pytest
+
+from repro.datagen.categories import (
+    HOURS_PER_DAY,
+    CategoryProfile,
+    PlaceSlot,
+    default_categories,
+    get_category,
+)
+
+
+class TestDefaultCategories:
+    def test_six_categories(self):
+        assert len(default_categories()) == 6
+
+    def test_unique_names(self):
+        names = [c.name for c in default_categories()]
+        assert len(names) == len(set(names))
+
+    def test_profiles_cover_all_hours(self):
+        for category in default_categories():
+            assert len(category.hourly_activity) == HOURS_PER_DAY
+            assert len(category.place_schedule) == HOURS_PER_DAY
+
+    def test_activity_levels_valid(self):
+        for category in default_categories():
+            assert all(0.0 <= level <= 1.0 for level in category.hourly_activity)
+
+    def test_every_category_has_home_hours(self):
+        for category in default_categories():
+            assert PlaceSlot.HOME in category.place_schedule
+
+    def test_categories_are_mutually_distinguishable(self):
+        profiles = default_categories()
+        signatures = {tuple(c.hourly_activity) for c in profiles}
+        assert len(signatures) == len(profiles)
+
+    def test_night_shift_is_active_at_night(self):
+        night = get_category("night_shift")
+        office = get_category("office_worker")
+        assert night.activity_at(2) > office.activity_at(2)
+        assert office.activity_at(10) > night.activity_at(10)
+
+
+class TestCategoryProfile:
+    def test_activity_at_wraps_around(self):
+        category = default_categories()[0]
+        assert category.activity_at(25) == category.activity_at(1)
+
+    def test_place_at_wraps_around(self):
+        category = default_categories()[0]
+        assert category.place_at(24) == category.place_at(0)
+
+    def test_invalid_activity_length_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryProfile(
+                name="bad",
+                description="",
+                hourly_activity=(0.5,) * 23,
+                place_schedule=(PlaceSlot.HOME,) * 24,
+                base_call_count=1,
+                base_call_duration=1,
+                base_partner_count=1,
+            )
+
+    def test_invalid_activity_value_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryProfile(
+                name="bad",
+                description="",
+                hourly_activity=(1.5,) + (0.5,) * 23,
+                place_schedule=(PlaceSlot.HOME,) * 24,
+                base_call_count=1,
+                base_call_duration=1,
+                base_partner_count=1,
+            )
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryProfile(
+                name="bad",
+                description="",
+                hourly_activity=(0.5,) * 24,
+                place_schedule=(PlaceSlot.HOME,) * 24,
+                base_call_count=-1,
+                base_call_duration=1,
+                base_partner_count=1,
+            )
+
+
+class TestGetCategory:
+    def test_lookup_by_name(self):
+        assert get_category("student").name == "student"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown category"):
+            get_category("astronaut")

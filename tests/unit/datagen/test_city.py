@@ -1,0 +1,57 @@
+"""Unit tests for the city / base-station grid model."""
+
+import pytest
+
+from repro.datagen.city import BaseStationSite, CityGrid
+
+
+class TestBaseStationSite:
+    def test_distance(self):
+        site = BaseStationSite("bs", 0.0, 0.0)
+        assert site.distance_to(3.0, 4.0) == 5.0
+
+
+class TestCityGrid:
+    def test_station_count_matches_grid(self):
+        grid = CityGrid(width_km=30, height_km=20, station_spacing_km=10)
+        assert len(grid) == 6
+
+    def test_station_ids_unique(self):
+        grid = CityGrid(width_km=40, height_km=40, station_spacing_km=10)
+        ids = grid.station_ids
+        assert len(ids) == len(set(ids))
+
+    def test_area(self):
+        assert CityGrid(30, 20, 10).area_km2 == 600
+
+    def test_sites_inside_city(self):
+        grid = CityGrid(30, 30, 10)
+        for site in grid.sites:
+            assert 0 <= site.x_km <= 30
+            assert 0 <= site.y_km <= 30
+
+    def test_site_lookup(self):
+        grid = CityGrid(20, 20, 10)
+        station_id = grid.station_ids[0]
+        assert grid.site(station_id).station_id == station_id
+
+    def test_site_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            CityGrid(20, 20, 10).site("nope")
+
+    def test_nearest_station(self):
+        grid = CityGrid(20, 20, 10)
+        site = grid.sites[0]
+        assert grid.nearest_station(site.x_km + 0.1, site.y_km - 0.1) == site
+
+    def test_small_city_has_at_least_one_station(self):
+        assert len(CityGrid(1, 1, 10)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CityGrid(0, 10, 10)
+        with pytest.raises(ValueError):
+            CityGrid(10, 10, 0)
+
+    def test_repr(self):
+        assert "stations=" in repr(CityGrid(20, 20, 10))

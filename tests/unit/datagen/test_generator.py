@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic value / CDR generators."""
+
+import pytest
+
+from repro.datagen.categories import PlaceSlot, get_category
+from repro.datagen.cdr import aggregate_records_to_attributes
+from repro.datagen.generator import (
+    CallGenerationSpec,
+    SyntheticCdrGenerator,
+    apply_timing_jitter,
+    generate_user_interval_values,
+    hour_of_day_for_interval,
+    synthesize_interval_attributes,
+)
+from repro.utils.rng import make_rng
+
+
+class TestHourMapping:
+    def test_hourly_intervals(self):
+        assert hour_of_day_for_interval(0, 24) == 0
+        assert hour_of_day_for_interval(25, 24) == 1
+
+    def test_six_hour_intervals(self):
+        assert hour_of_day_for_interval(1, 4) == 6
+        assert hour_of_day_for_interval(3, 4) == 18
+
+    def test_fifteen_minute_intervals(self):
+        assert hour_of_day_for_interval(4, 96) == 1
+
+    def test_invalid_intervals_per_day(self):
+        with pytest.raises(ValueError):
+            hour_of_day_for_interval(0, 0)
+
+
+class TestSynthesizeAttributes:
+    def test_attributes_scale_with_activity(self):
+        category = get_category("office_worker")
+        rng = make_rng(1)
+        peak = synthesize_interval_attributes(category, 10, 24, rng)
+        night = synthesize_interval_attributes(category, 3, 24, rng)
+        assert peak.call_count > night.call_count
+
+
+class TestTimingJitter:
+    def test_preserves_total_activity(self):
+        values = [5, 0, 3, 2, 8, 0, 1]
+        jittered = apply_timing_jitter(values, make_rng(3), noise_level=2)
+        assert sum(jittered) == sum(values)
+
+    def test_keeps_values_non_negative(self):
+        values = [1, 0, 0, 0, 1]
+        jittered = apply_timing_jitter(values, make_rng(5), noise_level=3)
+        assert all(v >= 0 for v in jittered)
+
+    def test_zero_noise_is_identity(self):
+        values = [1, 2, 3]
+        assert apply_timing_jitter(values, make_rng(1), noise_level=0) == values
+
+    def test_does_not_mutate_input(self):
+        values = [4, 4, 4, 4]
+        apply_timing_jitter(values, make_rng(1), noise_level=2)
+        assert values == [4, 4, 4, 4]
+
+
+class TestGenerateUserIntervalValues:
+    def test_length(self):
+        values = generate_user_interval_values(
+            get_category("student"), 48, 24, make_rng(1), noise_level=0
+        )
+        assert len(values) == 48
+
+    def test_non_negative_integers(self):
+        values = generate_user_interval_values(
+            get_category("student"), 24, 24, make_rng(2), noise_level=1
+        )
+        assert all(isinstance(v, int) and v >= 0 for v in values)
+
+    def test_daily_periodicity_without_noise(self):
+        values = generate_user_interval_values(
+            get_category("office_worker"), 48, 24, make_rng(3), noise_level=0
+        )
+        assert values[:24] == values[24:]
+
+    def test_deterministic_for_same_rng_seed(self):
+        a = generate_user_interval_values(get_category("retiree"), 24, 24, make_rng(7))
+        b = generate_user_interval_values(get_category("retiree"), 24, 24, make_rng(7))
+        assert a == b
+
+    def test_place_offsets_shift_active_intervals(self):
+        category = get_category("office_worker")
+        plain = generate_user_interval_values(category, 24, 24, make_rng(4), noise_level=0)
+        offset = generate_user_interval_values(
+            category,
+            24,
+            24,
+            make_rng(4),
+            noise_level=0,
+            place_offsets={PlaceSlot.WORK: 6, PlaceSlot.HOME: 0, PlaceSlot.OTHER: 0},
+        )
+        work_hours = [h for h in range(24) if category.place_at(h) == PlaceSlot.WORK and plain[h] > 0]
+        assert all(offset[h] == plain[h] + 6 for h in work_hours)
+        home_hours = [h for h in range(24) if category.place_at(h) == PlaceSlot.HOME]
+        assert all(offset[h] == plain[h] for h in home_hours)
+
+    def test_invalid_interval_count(self):
+        with pytest.raises(ValueError):
+            generate_user_interval_values(get_category("student"), 0, 24, make_rng(1))
+
+
+class TestSyntheticCdrGenerator:
+    def test_records_reference_serving_station(self):
+        category = get_category("field_sales")
+        stations = ["bs-a"] * 12 + ["bs-b"] * 12
+        generator = SyntheticCdrGenerator()
+        records = generator.generate_for_user("u1", category, stations, 24, make_rng(5))
+        assert records
+        assert {r.station_id for r in records} <= {"bs-a", "bs-b"}
+
+    def test_aggregation_roundtrip_matches_generated_intensity(self):
+        category = get_category("field_sales")
+        stations = ["bs-a"] * 24
+        generator = SyntheticCdrGenerator(CallGenerationSpec(interval_seconds=3600))
+        records = generator.generate_for_user("u1", category, stations, 24, make_rng(6))
+        attrs = aggregate_records_to_attributes(records, "u1", 3600, 24)
+        peak_hour = max(range(24), key=lambda h: category.activity_at(h))
+        assert attrs[peak_hour].call_count > 0
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CallGenerationSpec(interval_seconds=0)
+
+    def test_spec_property(self):
+        spec = CallGenerationSpec()
+        assert SyntheticCdrGenerator(spec).spec is spec

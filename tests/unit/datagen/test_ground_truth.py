@@ -1,0 +1,60 @@
+"""Unit tests for the ground-truth cohort (Data set 2 substitute)."""
+
+import pytest
+
+from repro.datagen.ground_truth import (
+    PAPER_COHORT_SIZE,
+    PAPER_STUDY_DAYS,
+    build_ground_truth_cohort,
+)
+
+
+class TestBuildGroundTruthCohort:
+    def test_day_labels_match_paper(self):
+        for day_index, label in enumerate(PAPER_STUDY_DAYS):
+            cohort = build_ground_truth_cohort(day_index, cohort_size=60)
+            assert cohort.day_label == label
+
+    def test_extra_days_get_synthetic_labels(self):
+        cohort = build_ground_truth_cohort(10, cohort_size=60)
+        assert "synthetic day" in cohort.day_label
+
+    def test_cohort_size_close_to_requested(self):
+        cohort = build_ground_truth_cohort(0, cohort_size=PAPER_COHORT_SIZE)
+        regular_users = [
+            u for u in cohort.dataset.user_ids if not cohort.dataset.profile(u).is_decoy
+        ]
+        assert abs(len(regular_users) - PAPER_COHORT_SIZE) <= 6
+
+    def test_six_categories_present(self):
+        cohort = build_ground_truth_cohort(0, cohort_size=60)
+        categories = {cohort.dataset.category_of(u) for u in cohort.dataset.user_ids}
+        assert len(categories) == 6
+
+    def test_labels_mapping(self):
+        cohort = build_ground_truth_cohort(0, cohort_size=60)
+        labels = cohort.labels
+        assert set(labels.keys()) == set(cohort.dataset.user_ids)
+
+    def test_members_of(self):
+        cohort = build_ground_truth_cohort(0, cohort_size=60)
+        members = cohort.members_of("student")
+        assert members
+        assert all(cohort.dataset.category_of(u) == "student" for u in members)
+
+    def test_days_differ(self):
+        first = build_ground_truth_cohort(0, cohort_size=60)
+        second = build_ground_truth_cohort(1, cohort_size=60)
+        shared = set(first.dataset.user_ids) & set(second.dataset.user_ids)
+        differing = [
+            u
+            for u in list(shared)[:20]
+            if first.dataset.global_pattern(u).values != second.dataset.global_pattern(u).values
+        ]
+        assert differing
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_ground_truth_cohort(-1)
+        with pytest.raises(ValueError):
+            build_ground_truth_cohort(0, cohort_size=0)

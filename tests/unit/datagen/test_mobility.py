@@ -1,0 +1,61 @@
+"""Unit tests for the mobility model."""
+
+from repro.datagen.categories import PlaceSlot, get_category
+from repro.datagen.mobility import UserMobility, assign_mobility
+from repro.utils.rng import make_rng
+
+
+class TestUserMobility:
+    def test_station_for_place(self):
+        mobility = UserMobility("u1", "home", "work", "other")
+        assert mobility.station_for(PlaceSlot.HOME) == "home"
+        assert mobility.station_for(PlaceSlot.WORK) == "work"
+        assert mobility.station_for(PlaceSlot.OTHER) == "other"
+
+    def test_visited_stations_deduplicated(self):
+        mobility = UserMobility("u1", "a", "a", "b")
+        assert mobility.visited_stations == ["a", "b"]
+
+    def test_visited_stations_all_distinct(self):
+        mobility = UserMobility("u1", "a", "b", "c")
+        assert mobility.visited_stations == ["a", "b", "c"]
+
+
+class TestAssignMobility:
+    def test_assignment_uses_known_stations(self):
+        stations = [f"bs-{i}" for i in range(5)]
+        mobility = assign_mobility("u1", get_category("student"), stations, make_rng(1))
+        assert set(mobility.visited_stations) <= set(stations)
+
+    def test_deterministic_for_same_rng(self):
+        stations = [f"bs-{i}" for i in range(5)]
+        a = assign_mobility("u1", get_category("student"), stations, make_rng(9))
+        b = assign_mobility("u1", get_category("student"), stations, make_rng(9))
+        assert a == b
+
+    def test_full_colocation_forces_single_station(self):
+        stations = [f"bs-{i}" for i in range(5)]
+        mobility = assign_mobility(
+            "u1", get_category("student"), stations, make_rng(2), colocation_probability=1.0
+        )
+        assert len(mobility.visited_stations) == 1
+
+    def test_single_station_city(self):
+        mobility = assign_mobility("u1", get_category("student"), ["only"], make_rng(3))
+        assert mobility.visited_stations == ["only"]
+
+    def test_zero_colocation_usually_splits(self):
+        stations = [f"bs-{i}" for i in range(20)]
+        split_counts = [
+            len(
+                assign_mobility(
+                    f"u{i}",
+                    get_category("office_worker"),
+                    stations,
+                    make_rng(i),
+                    colocation_probability=0.0,
+                ).visited_stations
+            )
+            for i in range(30)
+        ]
+        assert sum(1 for c in split_counts if c >= 2) > 20

@@ -1,0 +1,24 @@
+"""Unit tests for the message layer."""
+
+from repro.distributed.messages import Message, MessageKind
+from repro.timeseries.pattern import LocalPattern
+from repro.utils.serialization import MESSAGE_OVERHEAD_BYTES
+
+
+class TestMessage:
+    def test_size_includes_overhead(self):
+        message = Message("a", "b", MessageKind.CONTROL, payload=None)
+        assert message.size_bytes() == MESSAGE_OVERHEAD_BYTES
+
+    def test_payload_bytes_for_pattern_payload(self):
+        pattern = LocalPattern("u", [1, 2, 3], "bs")
+        message = Message("bs", "center", MessageKind.MATCH_REPORT, payload=[pattern])
+        assert message.payload_bytes() == pattern.size_bytes()
+        assert message.size_bytes() == pattern.size_bytes() + MESSAGE_OVERHEAD_BYTES
+
+    def test_kinds_are_distinct(self):
+        assert MessageKind.FILTER_DISSEMINATION != MessageKind.MATCH_REPORT
+
+    def test_repr_mentions_route(self):
+        message = Message("a", "b", MessageKind.CONTROL)
+        assert "'a'" in repr(message) and "'b'" in repr(message)

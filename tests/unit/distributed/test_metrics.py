@@ -1,0 +1,56 @@
+"""Unit tests for cost reporting."""
+
+import pytest
+
+from repro.distributed.metrics import CostReport
+
+
+def _report(method="wbf", **overrides):
+    defaults = dict(
+        downlink_bytes=100,
+        uplink_bytes=50,
+        message_count=5,
+        storage_center_bytes=80,
+        storage_station_bytes=20,
+        encode_time_s=0.1,
+        station_time_s=0.2,
+        aggregate_time_s=0.05,
+        transmission_time_s=0.3,
+        report_count=7,
+    )
+    defaults.update(overrides)
+    return CostReport(method=method, **defaults)
+
+
+class TestCostReport:
+    def test_communication_bytes(self):
+        assert _report().communication_bytes == 150
+
+    def test_storage_bytes(self):
+        assert _report().storage_bytes == 100
+
+    def test_computation_time(self):
+        assert _report().computation_time_s == pytest.approx(0.35)
+
+    def test_total_time(self):
+        assert _report().total_time_s == pytest.approx(0.65)
+
+    def test_relative_to_baseline(self):
+        wbf = _report()
+        naive = _report(
+            method="naive", downlink_bytes=0, uplink_bytes=1500, storage_center_bytes=900,
+            storage_station_bytes=100,
+        )
+        relative = wbf.relative_to(naive)
+        assert relative["communication"] == pytest.approx(150 / 1500)
+        assert relative["storage"] == pytest.approx(100 / 1000)
+        assert relative["time"] > 0
+
+    def test_relative_to_zero_baseline(self):
+        zero = CostReport(method="empty")
+        assert _report().relative_to(zero)["communication"] == 0.0
+
+    def test_defaults_are_zero(self):
+        empty = CostReport(method="x")
+        assert empty.communication_bytes == 0
+        assert empty.total_time_s == 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import NetworkConfig, SimulatedNetwork
+
+
+def _message(payload=None):
+    return Message("a", "b", MessageKind.CONTROL, payload=payload)
+
+
+class TestNetworkConfig:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        config = NetworkConfig(bandwidth_bytes_per_s=1000, latency_s=0.5)
+        assert config.transfer_time_s(1000) == pytest.approx(1.5)
+
+    def test_zero_bytes_costs_latency_only(self):
+        config = NetworkConfig(latency_s=0.25)
+        assert config.transfer_time_s(0) == pytest.approx(0.25)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(latency_s=-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig().transfer_time_s(-1)
+
+
+class TestSimulatedNetwork:
+    def test_byte_accounting(self):
+        network = SimulatedNetwork(NetworkConfig())
+        network.send_downlink(_message(payload=[1, 2, 3]))
+        network.send_uplink(_message(payload="abcd"))
+        assert network.downlink_bytes > 0
+        assert network.uplink_bytes > 0
+        assert network.message_count == 2
+        assert len(network.message_log) == 2
+
+    def test_downlink_is_parallel_uplink_is_serial(self):
+        config = NetworkConfig(bandwidth_bytes_per_s=1_000_000, latency_s=1.0)
+        network = SimulatedNetwork(config)
+        for _ in range(3):
+            network.send_downlink(_message())
+        for _ in range(3):
+            network.send_uplink(_message())
+        # Downlink contributes max (1 s), uplink contributes the sum (3 s).
+        assert network.transmission_time_s() == pytest.approx(4.0, rel=0.01)
+
+    def test_transmission_time_empty(self):
+        assert SimulatedNetwork().transmission_time_s() == 0.0
+
+    def test_reset(self):
+        network = SimulatedNetwork()
+        network.send_uplink(_message())
+        network.reset()
+        assert network.message_count == 0
+        assert network.uplink_bytes == 0
+        assert network.transmission_time_s() == 0.0
+
+    def test_send_returns_transfer_time(self):
+        network = SimulatedNetwork(NetworkConfig(latency_s=0.1))
+        assert network.send_downlink(_message()) >= 0.1

@@ -1,0 +1,85 @@
+"""Unit tests for the distributed simulation driver."""
+
+import pytest
+
+from repro.baselines.bf_matching import BloomFilterProtocol
+from repro.baselines.naive import NaiveProtocol
+from repro.core.dimatching import DIMatchingProtocol
+from repro.distributed.network import NetworkConfig
+from repro.distributed.simulator import DistributedSimulation, SimulationOutcome
+
+
+class TestDistributedSimulation:
+    def test_builds_station_nodes_for_non_empty_stations(self, small_dataset):
+        simulation = DistributedSimulation(small_dataset)
+        assert 0 < len(simulation.stations) <= small_dataset.station_count
+        assert simulation.dataset is small_dataset
+
+    def test_wbf_run_produces_outcome_with_costs(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        outcome = simulation.run(
+            DIMatchingProtocol(exact_config), list(small_workload.queries), k=None
+        )
+        assert isinstance(outcome, SimulationOutcome)
+        assert outcome.method == "wbf"
+        assert outcome.costs.downlink_bytes > 0
+        assert outcome.costs.uplink_bytes > 0
+        assert outcome.costs.message_count >= 2 * len(simulation.stations)
+        assert outcome.costs.total_time_s > 0
+        assert outcome.costs.report_count >= len(outcome.results)
+
+    def test_naive_run_has_no_filter_downlink(self, small_dataset, small_workload):
+        simulation = DistributedSimulation(small_dataset)
+        outcome = simulation.run(NaiveProtocol(epsilon=0), list(small_workload.queries), k=None)
+        # Naive downlink is only the per-station control trigger.
+        per_station_overhead = outcome.costs.downlink_bytes / len(simulation.stations)
+        assert per_station_overhead < 100
+
+    def test_naive_uplink_carries_whole_dataset(self, small_dataset, small_workload):
+        simulation = DistributedSimulation(small_dataset)
+        outcome = simulation.run(NaiveProtocol(epsilon=0), list(small_workload.queries), k=None)
+        assert outcome.costs.uplink_bytes >= small_dataset.total_raw_size_bytes()
+
+    def test_wbf_uplink_much_smaller_than_naive(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        naive = simulation.run(NaiveProtocol(epsilon=0), list(small_workload.queries), k=None)
+        wbf = simulation.run(DIMatchingProtocol(exact_config), list(small_workload.queries), k=None)
+        assert wbf.costs.uplink_bytes < naive.costs.uplink_bytes / 2
+
+    def test_bf_run(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        outcome = simulation.run(
+            BloomFilterProtocol(exact_config), list(small_workload.queries), k=None
+        )
+        assert outcome.method == "bf"
+        assert outcome.retrieved_user_ids
+
+    def test_network_config_scales_transmission_time(self, small_dataset, small_workload):
+        slow = DistributedSimulation(
+            small_dataset, NetworkConfig(bandwidth_bytes_per_s=10_000, latency_s=0.0)
+        )
+        fast = DistributedSimulation(
+            small_dataset, NetworkConfig(bandwidth_bytes_per_s=10_000_000, latency_s=0.0)
+        )
+        queries = list(small_workload.queries)
+        slow_outcome = slow.run(NaiveProtocol(epsilon=0), queries, k=None)
+        fast_outcome = fast.run(NaiveProtocol(epsilon=0), queries, k=None)
+        assert (
+            slow_outcome.costs.transmission_time_s
+            > 10 * fast_outcome.costs.transmission_time_s
+        )
+
+    def test_k_cutoff_respected(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        outcome = simulation.run(
+            DIMatchingProtocol(exact_config), list(small_workload.queries), k=3
+        )
+        assert len(outcome.results) <= 3
+
+    def test_storage_accounting_present(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        outcome = simulation.run(
+            DIMatchingProtocol(exact_config), list(small_workload.queries), k=None
+        )
+        assert outcome.costs.storage_center_bytes > 0
+        assert outcome.costs.storage_station_bytes > 0

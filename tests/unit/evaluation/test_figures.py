@@ -1,0 +1,57 @@
+"""Unit tests for the descriptive-figure data series (Fig. 1a, 1b, 3)."""
+
+from repro.evaluation.figures import (
+    accumulated_category_series,
+    category_mean_series,
+    local_similarity_counts,
+)
+
+
+class TestCategoryMeanSeries:
+    def test_six_series_with_expected_length(self):
+        series = category_mean_series(days=2, bin_hours=6)
+        assert len(series) == 6
+        assert all(len(values) == 8 for values in series.values())
+
+    def test_values_normalised_to_mean_one(self):
+        series = category_mean_series(days=2, bin_hours=6)
+        for values in series.values():
+            mean = sum(values) / len(values)
+            assert abs(mean - 1.0) < 1e-6
+
+    def test_daily_periodicity(self):
+        series = category_mean_series(days=2, bin_hours=6)
+        for values in series.values():
+            assert values[:4] == values[4:]
+
+
+class TestAccumulatedCategorySeries:
+    def test_series_are_monotone_non_decreasing(self):
+        series = accumulated_category_series(days=7, bin_hours=6)
+        for values in series.values():
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_series_end_at_one(self):
+        series = accumulated_category_series(days=7, bin_hours=6)
+        for values in series.values():
+            assert values[-1] == 1.0
+
+    def test_length(self):
+        series = accumulated_category_series(days=7, bin_hours=6)
+        assert all(len(values) == 28 for values in series.values())
+
+
+class TestLocalSimilarityCounts:
+    def test_counts_are_non_negative(self, small_dataset):
+        counts = local_similarity_counts(small_dataset, epsilon=0, max_pairs=200)
+        assert counts
+        assert all(count >= 0 for count in counts)
+
+    def test_observation_two_most_pairs_share_a_local_pattern(self, small_dataset):
+        counts = local_similarity_counts(small_dataset, epsilon=0, max_pairs=500)
+        share = sum(1 for count in counts if count >= 1) / len(counts)
+        assert share > 0.5
+
+    def test_max_pairs_respected(self, small_dataset):
+        counts = local_similarity_counts(small_dataset, epsilon=0, max_pairs=5)
+        assert len(counts) <= 5

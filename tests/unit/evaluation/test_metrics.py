@@ -1,0 +1,59 @@
+"""Unit tests for retrieval metrics."""
+
+import pytest
+
+from repro.evaluation.metrics import evaluate_retrieval, f1_score, precision, recall
+
+
+class TestPrecisionRecall:
+    def test_perfect_retrieval(self):
+        assert precision(["a", "b"], ["a", "b"]) == 1.0
+        assert recall(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half_precision(self):
+        assert precision(["a", "x"], ["a", "b"]) == 0.5
+
+    def test_half_recall(self):
+        assert recall(["a"], ["a", "b"]) == 0.5
+
+    def test_empty_retrieval_with_relevant_items(self):
+        assert precision([], ["a"]) == 0.0
+        assert recall([], ["a"]) == 0.0
+
+    def test_empty_relevant_set(self):
+        assert recall(["a"], []) == 1.0
+        assert precision([], []) == 1.0
+
+    def test_duplicates_ignored(self):
+        assert precision(["a", "a"], ["a"]) == 1.0
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_perfect(self):
+        assert f1_score(1.0, 1.0) == 1.0
+
+
+class TestEvaluateRetrieval:
+    def test_counts(self):
+        metrics = evaluate_retrieval(["a", "b", "x"], ["a", "b", "c"])
+        assert metrics.counts.true_positive == 2
+        assert metrics.counts.false_positive == 1
+        assert metrics.counts.false_negative == 1
+        assert metrics.counts.retrieved == 3
+        assert metrics.counts.relevant == 3
+
+    def test_metrics_consistent_with_counts(self):
+        metrics = evaluate_retrieval(["a", "x"], ["a", "b"])
+        assert metrics.precision == 0.5
+        assert metrics.recall == 0.5
+        assert metrics.f1 == 0.5
+
+    def test_perfect_retrieval(self):
+        metrics = evaluate_retrieval(["a"], ["a"])
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.evaluation.experiments import EffectivenessRow
+from repro.evaluation.reporting import (
+    comparison_series,
+    format_comparison_sweep,
+    format_convergence_table,
+    format_effectiveness_table,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_results(small_dataset, exact_config):
+    from repro.evaluation.experiments import sweep_query_counts
+
+    return sweep_query_counts(
+        small_dataset, [2, 4], epsilon=0, config=exact_config, methods=("naive", "bf", "wbf")
+    )
+
+
+class TestComparisonSeries:
+    def test_precision_series(self, sweep_results):
+        series = comparison_series(sweep_results, "precision")
+        assert set(series) == {"naive", "bf", "wbf"}
+        assert all(len(values) == 2 for values in series.values())
+
+    @pytest.mark.parametrize("quantity", ["time", "communication", "storage"])
+    def test_other_quantities(self, sweep_results, quantity):
+        series = comparison_series(sweep_results, quantity)
+        assert all(v >= 0 for values in series.values() for v in values)
+
+    def test_relative_quantities_are_one_for_naive(self, sweep_results):
+        series = comparison_series(sweep_results, "communication")
+        assert all(v == 1.0 for v in series["naive"])
+
+    def test_unknown_quantity_rejected(self, sweep_results):
+        with pytest.raises(ValueError):
+            comparison_series(sweep_results, "latency")
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_series([], "precision")
+
+
+class TestFormatting:
+    def test_format_comparison_sweep(self, sweep_results):
+        text = format_comparison_sweep(sweep_results, "precision", "Figure 4(a)")
+        assert "Figure 4(a)" in text
+        assert "patterns" in text
+        assert "wbf" in text
+
+    def test_format_effectiveness_table(self):
+        rows = [EffectivenessRow("March 28th, 2009", 0.98, 0.99, 0.98)]
+        text = format_effectiveness_table(rows)
+        assert "March 28th, 2009" in text
+        assert "Precision" in text
+
+    def test_format_effectiveness_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_effectiveness_table([])
+
+    def test_format_convergence_table(self):
+        results = {"group-1": {2: 0.5, 12: 0.9}, "group-2": {2: 0.6, 12: 0.95}}
+        text = format_convergence_table(results)
+        assert "group-1" in text
+        assert "12" in text
+
+    def test_format_convergence_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_convergence_table({})

@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompareCommand:
+    def test_runs_and_prints_table(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--users-per-category", "4",
+                "--stations", "3",
+                "--queries", "3",
+                "--seed", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "precision" in captured
+        assert "wbf" in captured
+
+    def test_method_selection(self, capsys):
+        main(
+            [
+                "compare",
+                "--users-per-category", "4",
+                "--stations", "3",
+                "--queries", "2",
+                "--methods", "naive", "wbf",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert "naive" in captured
+        assert " bf " not in captured
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--methods", "magic"])
+
+
+class TestTable2Command:
+    def test_runs_one_day(self, capsys):
+        exit_code = main(["table2", "--days", "1", "--cohort-size", "48"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "March 28th, 2009" in captured
+        assert "Precision" in captured
+
+
+class TestConvergenceCommand:
+    def test_runs_small_study(self, capsys):
+        exit_code = main(["convergence", "--samples", "2", "8", "--groups", "2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "group-1" in captured
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("name", ["fig1a", "fig3"])
+    def test_descriptive_figures(self, capsys, name):
+        exit_code = main(["figure", name])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "legend" in captured
+
+    def test_fig1b(self, capsys):
+        exit_code = main(["figure", "fig1b"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "CDF" in captured
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig9"])
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

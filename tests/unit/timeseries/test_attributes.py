@@ -1,0 +1,66 @@
+"""Unit tests for Definition-1 attribute fusion."""
+
+import pytest
+
+from repro.timeseries.attributes import (
+    AttributeWeights,
+    CommunicationAttributes,
+    communication_pattern_value,
+)
+
+
+class TestCommunicationAttributes:
+    def test_construction(self):
+        attributes = CommunicationAttributes(3, 120, 2)
+        assert attributes.as_tuple() == (3, 120, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CommunicationAttributes(-1, 0, 0)
+        with pytest.raises(ValueError):
+            CommunicationAttributes(0, -1, 0)
+        with pytest.raises(ValueError):
+            CommunicationAttributes(0, 0, -1)
+
+    def test_zero_attributes_allowed(self):
+        assert CommunicationAttributes(0, 0, 0).as_tuple() == (0, 0, 0)
+
+
+class TestAttributeWeights:
+    def test_defaults_are_equal_weights(self):
+        assert AttributeWeights().as_tuple() == (1.0, 1.0, 1.0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AttributeWeights(0, 0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AttributeWeights(call_count=-1)
+
+
+class TestCommunicationPatternValue:
+    def test_equal_weights_is_mean(self):
+        attributes = CommunicationAttributes(3, 9, 6)
+        assert communication_pattern_value(attributes) == 6
+
+    def test_zero_activity_gives_zero(self):
+        assert communication_pattern_value(CommunicationAttributes(0, 0, 0)) == 0
+
+    def test_custom_weights_emphasise_attribute(self):
+        attributes = CommunicationAttributes(2, 10, 1)
+        duration_heavy = communication_pattern_value(
+            attributes, AttributeWeights(call_count=0.0, call_duration=3.0, partner_count=0.0)
+        )
+        call_heavy = communication_pattern_value(
+            attributes, AttributeWeights(call_count=3.0, call_duration=0.0, partner_count=0.0)
+        )
+        assert duration_heavy > call_heavy
+
+    def test_result_is_integer(self):
+        value = communication_pattern_value(CommunicationAttributes(1, 2, 2))
+        assert isinstance(value, int)
+
+    def test_rounding(self):
+        # Mean of (1, 2, 2) = 5/3 ≈ 1.67, rounds to 2.
+        assert communication_pattern_value(CommunicationAttributes(1, 2, 2)) == 2

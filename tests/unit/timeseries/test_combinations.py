@@ -1,0 +1,81 @@
+"""Unit tests for local-pattern combinations (Eq. 4)."""
+
+import pytest
+
+from repro.timeseries.combinations import (
+    combination_count,
+    enumerate_combinations,
+    enumerate_pattern_combinations,
+)
+from repro.timeseries.pattern import LocalPattern
+
+
+class TestCombinationCount:
+    @pytest.mark.parametrize("l,expected", [(1, 1), (2, 3), (3, 7), (4, 15), (5, 31)])
+    def test_matches_formula(self, l, expected):
+        assert combination_count(l) == expected
+
+    def test_equals_two_to_l_minus_one(self):
+        for l in range(1, 10):
+            assert combination_count(l) == 2**l - 1
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            combination_count(0)
+
+
+class TestEnumerateCombinations:
+    def test_counts_match_formula(self):
+        items = ["a", "b", "c"]
+        assert len(list(enumerate_combinations(items))) == combination_count(3)
+
+    def test_sizes_in_increasing_order(self):
+        sizes = [len(c) for c in enumerate_combinations([1, 2, 3])]
+        assert sizes == sorted(sizes)
+
+    def test_all_subsets_unique(self):
+        subsets = list(enumerate_combinations(list(range(4))))
+        assert len(subsets) == len(set(subsets))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            list(enumerate_combinations([]))
+
+
+class TestEnumeratePatternCombinations:
+    def _locals(self):
+        return [
+            LocalPattern("u", [1, 0, 0], "a"),
+            LocalPattern("u", [0, 2, 0], "b"),
+            LocalPattern("u", [0, 0, 3], "c"),
+        ]
+
+    def test_count(self):
+        assert len(enumerate_pattern_combinations(self._locals())) == 7
+
+    def test_last_combination_is_global(self):
+        combos = enumerate_pattern_combinations(self._locals())
+        assert combos[-1].values == (1, 2, 3)
+
+    def test_singletons_present(self):
+        combos = enumerate_pattern_combinations(self._locals())
+        values = {c.values for c in combos}
+        assert (1, 0, 0) in values and (0, 2, 0) in values and (0, 0, 3) in values
+
+    def test_pairwise_sums_present(self):
+        combos = enumerate_pattern_combinations(self._locals())
+        values = {c.values for c in combos}
+        assert (1, 2, 0) in values and (1, 0, 3) in values and (0, 2, 3) in values
+
+    def test_user_id_preserved(self):
+        combos = enumerate_pattern_combinations(self._locals())
+        assert all(c.user_id == "u" for c in combos)
+
+    def test_single_local_pattern(self):
+        combos = enumerate_pattern_combinations([LocalPattern("u", [4, 5], "a")])
+        assert len(combos) == 1
+        assert combos[0].values == (4, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            enumerate_pattern_combinations([])

@@ -1,0 +1,55 @@
+"""Unit tests for uniform sampling (parameter b)."""
+
+import pytest
+
+from repro.timeseries.sampling import uniform_sample, uniform_sample_indices
+
+
+class TestUniformSampleIndices:
+    def test_sample_count_equals_length(self):
+        assert uniform_sample_indices(5, 5) == [0, 1, 2, 3, 4]
+
+    def test_sample_count_exceeds_length(self):
+        assert uniform_sample_indices(3, 10) == [0, 1, 2]
+
+    def test_single_sample_is_last_index(self):
+        assert uniform_sample_indices(10, 1) == [9]
+
+    def test_always_includes_last_index(self):
+        for length in (5, 17, 24, 96):
+            for count in (2, 3, 7, 12):
+                assert uniform_sample_indices(length, count)[-1] == length - 1
+
+    def test_always_includes_first_index_when_multiple(self):
+        assert uniform_sample_indices(24, 12)[0] == 0
+
+    def test_indices_strictly_increasing(self):
+        indices = uniform_sample_indices(50, 12)
+        assert indices == sorted(set(indices))
+
+    def test_count_bounded_by_request(self):
+        assert len(uniform_sample_indices(100, 12)) <= 13
+
+    def test_deterministic(self):
+        assert uniform_sample_indices(37, 9) == uniform_sample_indices(37, 9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_sample_indices(0, 3)
+        with pytest.raises(ValueError):
+            uniform_sample_indices(3, 0)
+
+
+class TestUniformSample:
+    def test_samples_values_at_indices(self):
+        values = list(range(100, 124))
+        sampled = uniform_sample(values, 4)
+        assert sampled[0] == 100
+        assert sampled[-1] == 123
+
+    def test_sample_of_short_sequence(self):
+        assert uniform_sample([1, 2], 10) == [1, 2]
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            uniform_sample([], 3)

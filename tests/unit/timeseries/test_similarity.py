@@ -1,0 +1,77 @@
+"""Unit tests for similarity / distance functions (Eq. 2)."""
+
+import pytest
+
+from repro.timeseries.pattern import Pattern
+from repro.timeseries.similarity import (
+    chebyshev_distance,
+    epsilon_similar,
+    l1_distance,
+    l2_distance,
+    pattern_epsilon_similar,
+)
+
+
+class TestDistances:
+    def test_l1(self):
+        assert l1_distance([1, 2, 3], [2, 2, 5]) == 3
+
+    def test_l2(self):
+        assert l2_distance([0, 0], [3, 4]) == 5.0
+
+    def test_chebyshev(self):
+        assert chebyshev_distance([1, 5, 2], [2, 2, 2]) == 3
+
+    def test_zero_distance_for_identical(self):
+        assert l1_distance([1, 2], [1, 2]) == 0
+        assert l2_distance([1, 2], [1, 2]) == 0
+        assert chebyshev_distance([1, 2], [1, 2]) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            l1_distance([1], [1, 2])
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            chebyshev_distance([], [])
+
+
+class TestEpsilonSimilar:
+    def test_exact_match_with_zero_epsilon(self):
+        assert epsilon_similar([3, 4, 5], [3, 4, 5], 0)
+
+    def test_single_interval_violation_fails(self):
+        assert not epsilon_similar([3, 4, 5], [3, 4, 8], 2)
+
+    def test_within_epsilon_everywhere(self):
+        assert epsilon_similar([3, 4, 5], [4, 3, 6], 1)
+
+    def test_equivalent_to_chebyshev_bound(self):
+        a, b = [5, 1, 9, 0], [4, 3, 9, 1]
+        assert epsilon_similar(a, b, 2) == (chebyshev_distance(a, b) <= 2)
+
+    def test_symmetry(self):
+        assert epsilon_similar([1, 2], [2, 3], 1) == epsilon_similar([2, 3], [1, 2], 1)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            epsilon_similar([1], [1], -1)
+
+
+class TestPatternEpsilonSimilar:
+    def test_paper_counterexample_individual_vs_global(self):
+        # The paper's example: three stations holding {1,1,1}, {2,2,0}, {0,1,4};
+        # none matches {3,4,5} individually, but the aggregate does.
+        query = Pattern("q", [3, 4, 5])
+        fragments = [Pattern("u", v) for v in ([1, 1, 1], [2, 2, 0], [0, 1, 4])]
+        assert all(not pattern_epsilon_similar(f, query, 0) for f in fragments)
+        aggregate = fragments[0] + fragments[1] + fragments[2]
+        assert pattern_epsilon_similar(aggregate, query, 0)
+
+    def test_over_match_counterexample(self):
+        # Three identical local matches aggregate to {9,12,15}, which is different.
+        query = Pattern("q", [3, 4, 5])
+        fragment = Pattern("u", [3, 4, 5])
+        assert pattern_epsilon_similar(fragment, query, 0)
+        aggregate = fragment + fragment + fragment
+        assert not pattern_epsilon_similar(aggregate, query, 0)

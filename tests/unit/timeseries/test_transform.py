@@ -1,0 +1,81 @@
+"""Unit tests for the accumulation transform (Eq. 3)."""
+
+import pytest
+
+from repro.timeseries.pattern import GlobalPattern, LocalPattern, Pattern
+from repro.timeseries.transform import (
+    accumulate,
+    accumulate_pattern,
+    deaccumulate,
+    is_non_decreasing,
+)
+
+
+class TestAccumulate:
+    def test_paper_example(self):
+        # The paper's example: {1, 2, 3} -> {1, 3, 6} and {3, 2, 1} -> {3, 5, 6}.
+        assert accumulate([1, 2, 3]) == [1, 3, 6]
+        assert accumulate([3, 2, 1]) == [3, 5, 6]
+
+    def test_distinguishes_permutations(self):
+        assert accumulate([1, 2, 3]) != accumulate([3, 2, 1])
+
+    def test_single_value(self):
+        assert accumulate([7]) == [7]
+
+    def test_zeros(self):
+        assert accumulate([0, 0, 0]) == [0, 0, 0]
+
+    def test_result_is_non_decreasing_for_non_negative_input(self):
+        assert is_non_decreasing(accumulate([2, 0, 5, 1]))
+
+    def test_last_value_is_total(self):
+        values = [4, 1, 0, 7]
+        assert accumulate(values)[-1] == sum(values)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accumulate([])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            accumulate([1, "2"])
+
+
+class TestDeaccumulate:
+    def test_inverts_accumulate(self):
+        values = [3, 0, 5, 2, 2]
+        assert deaccumulate(accumulate(values)) == values
+
+    def test_single_value(self):
+        assert deaccumulate([9]) == [9]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            deaccumulate([])
+
+
+class TestIsNonDecreasing:
+    def test_true_for_sorted(self):
+        assert is_non_decreasing([1, 1, 2, 3])
+
+    def test_false_for_decrease(self):
+        assert not is_non_decreasing([1, 3, 2])
+
+    def test_true_for_single_element(self):
+        assert is_non_decreasing([5])
+
+
+class TestAccumulatePattern:
+    def test_preserves_pattern_type(self):
+        assert isinstance(accumulate_pattern(Pattern("u", [1, 2])), Pattern)
+
+    def test_preserves_local_pattern_type_and_station(self):
+        result = accumulate_pattern(LocalPattern("u", [1, 2], "bs-1"))
+        assert isinstance(result, LocalPattern)
+        assert result.station_id == "bs-1"
+        assert result.values == (1, 3)
+
+    def test_preserves_global_pattern_type(self):
+        source = GlobalPattern("u", [1, 2, 3])
+        assert isinstance(accumulate_pattern(source), GlobalPattern)

@@ -1,0 +1,72 @@
+"""Unit tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.utils.asciiplot import render_cdf, render_line_chart, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        out = render_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in out and "b" in out
+        assert "3" in out and "4" in out
+
+    def test_column_alignment(self):
+        out = render_table(["name", "v"], [["long-name-here", 1]])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert len(lines[0]) == len(lines[2])
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestRenderLineChart:
+    def test_contains_title_and_legend(self):
+        out = render_line_chart({"wbf": [1, 2, 3]}, title="demo")
+        assert "demo" in out
+        assert "wbf" in out
+
+    def test_multiple_series(self):
+        out = render_line_chart({"a": [0, 1], "b": [1, 0]})
+        assert "*=a" in out and "o=b" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = render_line_chart({"flat": [5, 5, 5]})
+        assert "max" in out
+
+    def test_single_point(self):
+        out = render_line_chart({"one": [1.0]})
+        assert "one" in out
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            render_line_chart({"a": [1, 2], "b": [1]})
+
+    def test_x_values_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x_values"):
+            render_line_chart({"a": [1, 2]}, x_values=[1])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart({})
+
+
+class TestRenderCdf:
+    def test_monotone_axis(self):
+        out = render_cdf([3, 1, 2], title="cdf")
+        assert "cdf" in out
+        assert "CDF" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf([])

@@ -1,0 +1,56 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_differs_by_label(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_base_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_returns_non_negative_int(self):
+        seed = derive_seed(123, "x")
+        assert isinstance(seed, int)
+        assert seed >= 0
+
+
+class TestMakeRng:
+    def test_returns_generator(self):
+        assert isinstance(make_rng(5), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = make_rng(5, "stream").integers(0, 1000, size=10)
+        b = make_rng(5, "stream").integers(0, 1000, size=10)
+        assert list(a) == list(b)
+
+    def test_different_labels_different_streams(self):
+        a = make_rng(5, "x").integers(0, 1000, size=10)
+        b = make_rng(5, "y").integers(0, 1000, size=10)
+        assert list(a) != list(b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_streams_are_independent(self):
+        first, second = spawn_rngs(9, 2, "label")
+        assert list(first.integers(0, 1000, 10)) != list(second.integers(0, 1000, 10))

@@ -1,0 +1,76 @@
+"""Unit tests for the byte-size cost model in repro.utils.serialization."""
+
+import pytest
+
+from repro.utils.serialization import (
+    FLOAT_BYTES,
+    ID_BYTES,
+    INT_BYTES,
+    estimate_size_bytes,
+    sizeof_float,
+    sizeof_id,
+    sizeof_int,
+)
+
+
+class TestSizeHelpers:
+    def test_sizeof_int_default(self):
+        assert sizeof_int() == INT_BYTES
+
+    def test_sizeof_int_count(self):
+        assert sizeof_int(10) == 10 * INT_BYTES
+
+    def test_sizeof_float(self):
+        assert sizeof_float(3) == 3 * FLOAT_BYTES
+
+    def test_sizeof_id(self):
+        assert sizeof_id(2) == 2 * ID_BYTES
+
+
+class TestEstimateSizeBytes:
+    def test_none_is_zero(self):
+        assert estimate_size_bytes(None) == 0
+
+    def test_bool(self):
+        assert estimate_size_bytes(True) == 1
+
+    def test_int(self):
+        assert estimate_size_bytes(7) == INT_BYTES
+
+    def test_float(self):
+        assert estimate_size_bytes(1.5) == FLOAT_BYTES
+
+    def test_string_utf8_length(self):
+        assert estimate_size_bytes("abc") == 3
+
+    def test_bytes(self):
+        assert estimate_size_bytes(b"\x00" * 10) == 10
+
+    def test_list_sums_elements(self):
+        assert estimate_size_bytes([1, 2, 3]) == 3 * INT_BYTES
+
+    def test_dict_sums_keys_and_values(self):
+        assert estimate_size_bytes({"ab": 1}) == 2 + INT_BYTES
+
+    def test_nested_structures(self):
+        payload = {"xs": [1, 2], "y": 0.5}
+        expected = 2 + 2 * INT_BYTES + 1 + FLOAT_BYTES
+        assert estimate_size_bytes(payload) == expected
+
+    def test_object_with_size_bytes_method(self):
+        class Sized:
+            def size_bytes(self):
+                return 123
+
+        assert estimate_size_bytes(Sized()) == 123
+
+    def test_list_of_sized_objects(self):
+        class Sized:
+            def size_bytes(self):
+                return 10
+
+        assert estimate_size_bytes([Sized(), Sized()]) == 20
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            estimate_size_bytes(object())
