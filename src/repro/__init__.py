@@ -38,22 +38,35 @@ from repro.core import (
 )
 from repro.baselines import BloomFilterProtocol, LocalOnlyProtocol, NaiveProtocol
 from repro.bloom import BloomFilter
-from repro.datagen import (
-    DatasetSpec,
-    DistributedDataset,
-    QueryWorkload,
-    build_dataset,
-    build_ground_truth_cohort,
-    build_query_workload,
-)
-from repro.distributed import DistributedSimulation, NetworkConfig, SimulationOutcome
-from repro.evaluation import (
-    effectiveness_study,
-    evaluate_retrieval,
-    run_comparison,
-    sweep_query_counts,
-)
 from repro.timeseries import GlobalPattern, LocalPattern, Pattern
+
+try:
+    # The synthetic-data, simulation and evaluation layers require NumPy; the
+    # matching core and Bloom substrate above do not (the bit backend falls back
+    # to its pure-Python implementation, see repro.bloom.backend).
+    from repro.datagen import (
+        DatasetSpec,
+        DistributedDataset,
+        QueryWorkload,
+        build_dataset,
+        build_ground_truth_cohort,
+        build_query_workload,
+    )
+    from repro.distributed import DistributedSimulation, NetworkConfig, SimulationOutcome
+    from repro.evaluation import (
+        effectiveness_study,
+        evaluate_retrieval,
+        run_comparison,
+        sweep_query_counts,
+    )
+
+    HAS_DATAGEN = True
+except ImportError as _error:  # pragma: no cover - covered by the no-NumPy CI leg
+    if (_error.name or "").partition(".")[0] != "numpy":
+        # A genuine import failure inside the optional layers — surface it
+        # rather than masking it as "NumPy is not installed".
+        raise
+    HAS_DATAGEN = False
 
 __version__ = "1.0.0"
 
@@ -75,21 +88,26 @@ __all__ = [
     "LocalOnlyProtocol",
     "NaiveProtocol",
     "BloomFilter",
-    "DatasetSpec",
-    "DistributedDataset",
-    "QueryWorkload",
-    "build_dataset",
-    "build_ground_truth_cohort",
-    "build_query_workload",
-    "DistributedSimulation",
-    "NetworkConfig",
-    "SimulationOutcome",
-    "effectiveness_study",
-    "evaluate_retrieval",
-    "run_comparison",
-    "sweep_query_counts",
     "GlobalPattern",
     "LocalPattern",
     "Pattern",
+    "HAS_DATAGEN",
     "__version__",
 ]
+
+if HAS_DATAGEN:
+    __all__ += [
+        "DatasetSpec",
+        "DistributedDataset",
+        "QueryWorkload",
+        "build_dataset",
+        "build_ground_truth_cohort",
+        "build_query_workload",
+        "DistributedSimulation",
+        "NetworkConfig",
+        "SimulationOutcome",
+        "effectiveness_study",
+        "evaluate_retrieval",
+        "run_comparison",
+        "sweep_query_counts",
+    ]

@@ -16,7 +16,7 @@ from repro.bloom.standard import BloomFilter
 from repro.core.config import DIMatchingConfig
 from repro.core.encoder import PatternEncoder
 from repro.core.exceptions import MatchingError
-from repro.core.matcher import BaseStationMatcher
+from repro.core.matcher import StationMatcherCache
 from repro.core.protocol import MatchingProtocol, MatchReport, RankedResults, RankedUser
 from repro.timeseries.pattern import PatternSet
 from repro.timeseries.query import QueryPattern
@@ -28,6 +28,7 @@ class BloomFilterProtocol(MatchingProtocol):
     def __init__(self, config: DIMatchingConfig | None = None) -> None:
         self._config = config or DIMatchingConfig()
         self._encoder = PatternEncoder(self._config)
+        self._matchers = StationMatcherCache(self._config)
 
     @property
     def name(self) -> str:
@@ -54,8 +55,7 @@ class BloomFilterProtocol(MatchingProtocol):
                 f"station {station_id!r} received {type(artifact).__name__}, "
                 "expected a BloomFilter"
             )
-        matcher = BaseStationMatcher(self._config, station_id, patterns)
-        return matcher.match_against_plain(artifact)
+        return self._matchers.matcher_for(station_id, patterns).match_against_plain(artifact)
 
     def aggregate(self, reports: Sequence[object], k: int | None) -> RankedResults:
         """Rank users by how many stations reported them (no weights available)."""

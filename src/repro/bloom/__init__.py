@@ -13,6 +13,17 @@ from repro.bloom.analysis import (
     optimal_hash_count,
     optimal_parameters,
 )
+from repro.bloom.backend import (
+    BACKEND_CHOICES,
+    HAS_NUMPY,
+    BackendUnavailableError,
+    BitBackend,
+    BytearrayBackend,
+    NumpyBackend,
+    available_backends,
+    make_backend,
+    resolve_backend_class,
+)
 from repro.bloom.bitset import BitArray
 from repro.bloom.counting import CountingBloomFilter
 from repro.bloom.hashing import HashFamily
@@ -22,8 +33,17 @@ from repro.bloom.spectral import SpectralBloomFilter
 from repro.bloom.standard import BloomFilter
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "HAS_NUMPY",
+    "BackendUnavailableError",
     "BitArray",
+    "BitBackend",
     "BloomFilter",
+    "BytearrayBackend",
+    "NumpyBackend",
+    "available_backends",
+    "make_backend",
+    "resolve_backend_class",
     "CountingBloomFilter",
     "HashFamily",
     "PartitionedBloomFilter",

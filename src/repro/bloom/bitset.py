@@ -1,125 +1,136 @@
 """Compact bit array used as the backing store for every Bloom-filter variant.
 
-The paper's reproduction hint suggests the ``bitarray`` package; to keep the library
-dependency-free we implement an equivalent fixed-size bit set on top of a
-``bytearray``.  The class supports the small API the filters need: get/set/clear a
-bit, population count, union/intersection, and serialized size accounting for the
-communication-cost model.
+The paper's reproduction hint suggests the ``bitarray`` package; instead the
+storage is pluggable (see :mod:`repro.bloom.backend`): a dependency-free
+``bytearray`` backend that is always available, and a vectorized NumPy
+``uint64``-word backend used automatically when NumPy is installed.  The class
+supports the API the filters need — get/set/clear a bit, batched set/test,
+population count, union/intersection, and serialized size accounting for the
+communication-cost model — and delegates each operation to its backend.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
-from repro.utils.validation import require_positive
+from repro.bloom.backend import BitBackend, make_backend
 
 
 class BitArray:
-    """A fixed-length array of bits backed by a ``bytearray``."""
+    """A fixed-length array of bits backed by a pluggable :class:`BitBackend`.
 
-    __slots__ = ("_length", "_buffer")
+    The default backend is the dependency-free pure-Python one so that bare
+    ``BitArray`` construction never depends on NumPy; the Bloom filters pass the
+    configured backend name (``"auto"`` by default) explicitly.
+    """
 
-    def __init__(self, length: int) -> None:
-        require_positive(length, "length")
-        self._length = int(length)
-        self._buffer = bytearray((self._length + 7) // 8)
+    __slots__ = ("_backend",)
+
+    def __init__(self, length: int, backend: str | BitBackend = "python") -> None:
+        self._backend = make_backend(length, backend)
 
     # -- construction helpers -------------------------------------------------
 
     @classmethod
-    def from_indices(cls, length: int, indices: Iterator[int] | list[int]) -> "BitArray":
+    def from_indices(
+        cls,
+        length: int,
+        indices: Iterator[int] | list[int],
+        backend: str | BitBackend = "python",
+    ) -> "BitArray":
         """Create a bit array of ``length`` bits with the given indices set."""
-        bits = cls(length)
-        for index in indices:
-            bits.set(index)
+        bits = cls(length, backend=backend)
+        bits.set_many(list(indices))
+        return bits
+
+    @classmethod
+    def _wrap(cls, backend: BitBackend) -> "BitArray":
+        bits = cls.__new__(cls)
+        bits._backend = backend
         return bits
 
     def copy(self) -> "BitArray":
-        """Return a deep copy of this bit array."""
-        clone = BitArray(self._length)
-        clone._buffer[:] = self._buffer
-        return clone
+        """Return a deep copy of this bit array (same backend)."""
+        return BitArray._wrap(self._backend.copy())
+
+    # -- backend introspection -------------------------------------------------
+
+    @property
+    def backend(self) -> BitBackend:
+        """The underlying storage backend."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the storage backend ("python" or "numpy")."""
+        return self._backend.name
 
     # -- core bit operations --------------------------------------------------
 
-    def _check_index(self, index: int) -> int:
-        if not isinstance(index, int) or isinstance(index, bool):
-            raise TypeError(f"bit index must be an int, got {type(index).__name__}")
-        if index < 0 or index >= self._length:
-            raise IndexError(f"bit index {index} out of range [0, {self._length})")
-        return index
-
     def get(self, index: int) -> bool:
         """Return True if the bit at ``index`` is set."""
-        index = self._check_index(index)
-        return bool(self._buffer[index >> 3] & (1 << (index & 7)))
+        return self._backend.get(index)
 
     def set(self, index: int) -> bool:
         """Set the bit at ``index``; return True if it was previously clear."""
-        index = self._check_index(index)
-        mask = 1 << (index & 7)
-        byte = self._buffer[index >> 3]
-        was_clear = not (byte & mask)
-        self._buffer[index >> 3] = byte | mask
-        return was_clear
+        return self._backend.set(index)
 
     def clear(self, index: int) -> None:
         """Clear the bit at ``index``."""
-        index = self._check_index(index)
-        self._buffer[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+        self._backend.clear(index)
+
+    # -- batched bit operations ------------------------------------------------
+
+    def set_many(self, indices: Sequence[int]) -> None:
+        """Set every bit in ``indices`` in one backend call."""
+        self._backend.set_many(indices)
+
+    def get_many(self, indices: Sequence[int]) -> list[bool]:
+        """Return the value of every bit in ``indices``, in order."""
+        return self._backend.get_many(indices)
+
+    def all_set_rows(self, rows: Sequence[Sequence[int]]) -> list[bool]:
+        """For each row of indices, True iff every bit of the row is set."""
+        return self._backend.all_set_rows(rows)
 
     def __getitem__(self, index: int) -> bool:
-        return self.get(index)
+        return self._backend.get(index)
 
     def __setitem__(self, index: int, value: bool) -> None:
         if value:
-            self.set(index)
+            self._backend.set(index)
         else:
-            self.clear(index)
+            self._backend.clear(index)
 
     def __len__(self) -> int:
-        return self._length
+        return self._backend.length
 
     # -- aggregate operations -------------------------------------------------
 
     def count(self) -> int:
         """Return the number of set bits (population count)."""
-        return sum(bin(byte).count("1") for byte in self._buffer)
+        return self._backend.count()
 
     def iter_set_bits(self) -> Iterator[int]:
         """Yield indices of set bits in increasing order."""
-        for byte_index, byte in enumerate(self._buffer):
-            if not byte:
-                continue
-            base = byte_index << 3
-            for bit in range(8):
-                if byte & (1 << bit):
-                    index = base + bit
-                    if index < self._length:
-                        yield index
+        return self._backend.iter_set_bits()
 
     def union(self, other: "BitArray") -> "BitArray":
         """Return a new bit array that is the bitwise OR of self and other."""
         self._check_compatible(other)
-        result = self.copy()
-        for i, byte in enumerate(other._buffer):
-            result._buffer[i] |= byte
-        return result
+        return BitArray._wrap(self._backend.union_with(other._backend))
 
     def intersection(self, other: "BitArray") -> "BitArray":
         """Return a new bit array that is the bitwise AND of self and other."""
         self._check_compatible(other)
-        result = self.copy()
-        for i, byte in enumerate(other._buffer):
-            result._buffer[i] &= byte
-        return result
+        return BitArray._wrap(self._backend.intersection_with(other._backend))
 
     def _check_compatible(self, other: "BitArray") -> None:
         if not isinstance(other, BitArray):
             raise TypeError(f"expected BitArray, got {type(other).__name__}")
-        if len(other) != self._length:
+        if len(other) != len(self):
             raise ValueError(
-                f"bit arrays have different lengths: {self._length} vs {len(other)}"
+                f"bit arrays have different lengths: {len(self)} vs {len(other)}"
             )
 
     def __or__(self, other: "BitArray") -> "BitArray":
@@ -131,16 +142,24 @@ class BitArray:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitArray):
             return NotImplemented
-        return self._length == other._length and self._buffer == other._buffer
+        # Compare canonical bytes so arrays on different backends compare equal.
+        return len(self) == len(other) and self.to_bytes() == other.to_bytes()
 
     def __hash__(self) -> int:  # pragma: no cover - BitArray is mutable; not hashable
         raise TypeError("BitArray is mutable and unhashable")
 
     def __repr__(self) -> str:
-        return f"BitArray(length={self._length}, set={self.count()})"
+        return (
+            f"BitArray(length={len(self)}, set={self.count()}, "
+            f"backend={self.backend_name!r})"
+        )
 
-    # -- cost accounting ------------------------------------------------------
+    # -- serialization and cost accounting ------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (backend-independent byte layout)."""
+        return self._backend.to_bytes()
 
     def size_bytes(self) -> int:
         """Serialized size used by the communication/storage cost model."""
-        return len(self._buffer)
+        return self._backend.size_bytes()

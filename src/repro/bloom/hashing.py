@@ -14,11 +14,19 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.utils.validation import require_positive
 
+try:  # pragma: no cover - exercised indirectly through the batched paths
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI matrix covers the no-NumPy leg
+    _np = None
+
 _MASK_64 = (1 << 64) - 1
+
+#: Below this batch size the NumPy round-trip costs more than the Python loop.
+_VECTORIZE_THRESHOLD = 4
 
 
 def canonical_item_bytes(item: object) -> bytes:
@@ -86,9 +94,30 @@ class HashFamily:
         h1, h2 = self._base_hashes(item)
         return [((h1 + i * h2) & _MASK_64) % self._range for i in range(self._hash_count)]
 
+    def indices_batch(self, items: Sequence[object]) -> list[list[int]]:
+        """Return the ``k`` bit positions for every item of ``items`` at once.
+
+        The base hashes are computed per item (SHA-256 is inherently scalar) but
+        the double-hashing expansion ``(h1 + i·h2) mod m`` — ``k`` multiplies,
+        adds and mods per item — is vectorized over the whole ``n × k`` grid
+        when NumPy is available.  Results are bit-for-bit identical to calling
+        :meth:`positions` per item, on every backend.
+        """
+        items = list(items)
+        if _np is None or len(items) < _VECTORIZE_THRESHOLD:
+            return [self.positions(item) for item in items]
+        base = [self._base_hashes(item) for item in items]
+        h1 = _np.array([pair[0] for pair in base], dtype="<u8")
+        h2 = _np.array([pair[1] for pair in base], dtype="<u8")
+        steps = _np.arange(self._hash_count, dtype="<u8")
+        # uint64 arithmetic wraps modulo 2^64, matching the `& _MASK_64` of the
+        # scalar path exactly.
+        grid = h1[:, None] + steps[None, :] * h2[:, None]
+        return (grid % _np.uint64(self._range)).astype(_np.int64).tolist()
+
     def positions_many(self, items: Iterable[object]) -> list[list[int]]:
-        """Return positions for each item in ``items``."""
-        return [self.positions(item) for item in items]
+        """Return positions for each item in ``items`` (alias of indices_batch)."""
+        return self.indices_batch(list(items))
 
     def with_range(self, value_range: int) -> "HashFamily":
         """Return a family with the same ``k`` and seed but a different output range."""

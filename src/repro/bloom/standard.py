@@ -7,7 +7,7 @@ no false negatives.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.bloom.analysis import expected_false_positive_rate
 from repro.bloom.bitset import BitArray
@@ -16,12 +16,18 @@ from repro.utils.validation import require_positive
 
 
 class BloomFilter:
-    """A fixed-size Bloom filter supporting ``add`` and membership queries."""
+    """A fixed-size Bloom filter supporting ``add`` and membership queries.
 
-    def __init__(self, bit_count: int, hash_count: int, seed: int = 0) -> None:
+    ``backend`` selects the bit-storage backend ("auto", "python" or "numpy",
+    see :mod:`repro.bloom.backend`); "auto" uses NumPy when available.
+    """
+
+    def __init__(
+        self, bit_count: int, hash_count: int, seed: int = 0, backend: str = "auto"
+    ) -> None:
         require_positive(bit_count, "bit_count")
         require_positive(hash_count, "hash_count")
-        self._bits = BitArray(bit_count)
+        self._bits = BitArray(bit_count, backend=backend)
         self._hashes = HashFamily(hash_count, bit_count, seed=seed)
         self._item_count = 0
 
@@ -52,6 +58,11 @@ class BloomFilter:
         """The hash family used by this filter."""
         return self._hashes
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the bit-storage backend in use."""
+        return self._bits.backend_name
+
     # -- core operations -------------------------------------------------------
 
     def add(self, item: object) -> None:
@@ -61,13 +72,23 @@ class BloomFilter:
         self._item_count += 1
 
     def add_many(self, items: Iterable[object]) -> None:
-        """Insert every item of ``items``."""
-        for item in items:
-            self.add(item)
+        """Insert every item of ``items`` through the batched backend path.
+
+        All ``n × k`` bit positions are computed in one call and set in one
+        backend operation instead of ``n·k`` Python-level bit writes.
+        """
+        items = list(items)
+        rows = self._hashes.indices_batch(items)
+        self._bits.set_many([position for row in rows for position in row])
+        self._item_count += len(items)
 
     def contains(self, item: object) -> bool:
         """Return True if ``item`` may be in the set (no false negatives)."""
         return all(self._bits.get(position) for position in self._hashes.positions(item))
+
+    def contains_many(self, items: Sequence[object]) -> list[bool]:
+        """Batched membership probe: one verdict per item, in order."""
+        return self._bits.all_set_rows(self._hashes.indices_batch(items))
 
     def __contains__(self, item: object) -> bool:
         return self.contains(item)
@@ -93,7 +114,12 @@ class BloomFilter:
         incompatible and the union is meaningless.
         """
         self._check_compatible(other)
-        result = BloomFilter(self.bit_count, self.hash_count, seed=self._hashes.seed)
+        result = BloomFilter(
+            self.bit_count,
+            self.hash_count,
+            seed=self._hashes.seed,
+            backend=self._bits.backend_name,
+        )
         result._bits = self._bits | other._bits
         result._item_count = self._item_count + other._item_count
         return result

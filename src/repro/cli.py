@@ -60,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--methods", nargs="+", default=["naive", "bf", "wbf"],
         choices=["naive", "local", "bf", "wbf"],
     )
+    compare.add_argument(
+        "--bit-backend", default="auto", choices=["auto", "python", "numpy"],
+        help="Bit-storage backend for the BF/WBF filters (auto = NumPy when available).",
+    )
 
     table2 = subparsers.add_parser("table2", help="Reproduce Table II (effectiveness).")
     table2.add_argument("--days", type=int, default=4)
@@ -93,7 +97,11 @@ def _run_compare(args: argparse.Namespace) -> str:
         )
     )
     workload = build_query_workload(dataset, args.queries, args.epsilon, seed=args.seed)
-    config = DIMatchingConfig(epsilon=args.epsilon, sample_count=args.sample_count)
+    config = DIMatchingConfig(
+        epsilon=args.epsilon,
+        sample_count=args.sample_count,
+        bit_backend=args.bit_backend,
+    )
     result = run_comparison(dataset, workload, config, methods=tuple(args.methods))
     rows = []
     for method in args.methods:

@@ -15,7 +15,7 @@ from repro.core.aggregator import SimilarityRanker
 from repro.core.config import DIMatchingConfig
 from repro.core.encoder import EncodedQueryBatch, PatternEncoder
 from repro.core.exceptions import MatchingError
-from repro.core.matcher import BaseStationMatcher
+from repro.core.matcher import StationMatcherCache
 from repro.core.protocol import MatchingProtocol, MatchReport, RankedResults
 from repro.timeseries.pattern import PatternSet
 from repro.timeseries.query import QueryPattern
@@ -35,6 +35,7 @@ class DIMatchingProtocol(MatchingProtocol):
         self._config = config or DIMatchingConfig()
         self._encoder = PatternEncoder(self._config)
         self._ranker = SimilarityRanker(max_weight_sum)
+        self._matchers = StationMatcherCache(self._config)
 
     @property
     def name(self) -> str:
@@ -61,8 +62,7 @@ class DIMatchingProtocol(MatchingProtocol):
                 f"station {station_id!r} received {type(artifact).__name__}, "
                 "expected an EncodedQueryBatch"
             )
-        matcher = BaseStationMatcher(self._config, station_id, patterns)
-        return matcher.match_against(artifact)
+        return self._matchers.matcher_for(station_id, patterns).match_against(artifact)
 
     def aggregate(self, reports: Sequence[object], k: int | None) -> RankedResults:
         """Algorithm 3 at the data center."""

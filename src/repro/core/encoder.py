@@ -203,16 +203,26 @@ class PatternEncoder:
     # -- filter construction -------------------------------------------------------
 
     def encode_batch(self, queries: Sequence[QueryPattern]) -> EncodedQueryBatch:
-        """Algorithm 1: build the Weighted Bloom Filter for a query batch."""
+        """Algorithm 1: build the Weighted Bloom Filter for a query batch.
+
+        Insertions are grouped by qualified weight and fed through the batched
+        :meth:`~repro.core.wbf.WeightedBloomFilter.insert_many` path, so the
+        ``n × k`` hash positions of each group are computed and written in one
+        vectorized call instead of item-by-item.
+        """
         insertions, pattern_length, combined_count = self.enumerate_insertions(queries)
         bit_count = self._config.filter_bit_count(len(insertions))
         wbf = WeightedBloomFilter(
             bit_count=bit_count,
             hash_count=self._config.hash_count,
             seed=self._config.seed,
+            backend=self._config.bit_backend,
         )
+        by_weight: dict[tuple[str, Fraction], list[object]] = {}
         for item, weight in insertions:
-            wbf.add(item, weight)
+            by_weight.setdefault(weight, []).append(item)
+        for weight, items in by_weight.items():
+            wbf.insert_many(items, weight)
         return EncodedQueryBatch(
             wbf=wbf,
             config=self._config,
@@ -230,7 +240,7 @@ class PatternEncoder:
             bit_count=bit_count,
             hash_count=self._config.hash_count,
             seed=self._config.seed,
+            backend=self._config.bit_backend,
         )
-        for item, _weight in insertions:
-            bloom.add(item)
+        bloom.add_many([item for item, _weight in insertions])
         return bloom

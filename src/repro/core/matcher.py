@@ -26,6 +26,32 @@ from repro.timeseries.pattern import Pattern, PatternSet
 from repro.timeseries.transform import accumulate
 
 
+class StationMatcherCache:
+    """Per-station :class:`BaseStationMatcher` reuse across protocol rounds.
+
+    Matcher construction accumulates and samples every local candidate, so
+    protocols keep one matcher per station alive between rounds (streaming,
+    query sweeps).  A cached matcher is reused only while the station passes
+    the *same* :class:`PatternSet` object with an unchanged length —
+    ``PatternSet``'s only mutator is ``add`` and patterns themselves are
+    immutable, so the length check catches in-place growth.
+    """
+
+    def __init__(self, config: DIMatchingConfig) -> None:
+        self._config = config
+        self._matchers: dict[str, tuple[PatternSet, int, "BaseStationMatcher"]] = {}
+
+    def matcher_for(self, station_id: str, patterns: PatternSet) -> "BaseStationMatcher":
+        cached = self._matchers.get(station_id)
+        if cached is not None:
+            cached_patterns, cached_length, matcher = cached
+            if cached_patterns is patterns and cached_length == len(patterns):
+                return matcher
+        matcher = BaseStationMatcher(self._config, station_id, patterns)
+        self._matchers[station_id] = (patterns, len(patterns), matcher)
+        return matcher
+
+
 class BaseStationMatcher:
     """Implements the base-station side of DI-matching for one station."""
 
@@ -64,17 +90,33 @@ class BaseStationMatcher:
 
     # -- position caching ---------------------------------------------------------
 
-    def _positions_for(self, item: object, filter_: WeightedBloomFilter | BloomFilter) -> list[int]:
+    def _cache_for(self, filter_: WeightedBloomFilter | BloomFilter) -> dict[object, list[int]]:
         family = filter_.hash_family
         signature = (family.value_range, family.hash_count, family.seed)
         if self._cached_for != signature:
             self._position_cache = {}
             self._cached_for = signature
-        positions = self._position_cache.get(item)
+        return self._position_cache
+
+    def _positions_for(self, item: object, filter_: WeightedBloomFilter | BloomFilter) -> list[int]:
+        cache = self._cache_for(filter_)
+        positions = cache.get(item)
         if positions is None:
-            positions = family.positions(item)
-            self._position_cache[item] = positions
+            positions = filter_.hash_family.positions(item)
+            cache[item] = positions
         return positions
+
+    def _rows_for_items(
+        self, items: list[object], filter_: WeightedBloomFilter | BloomFilter
+    ) -> list[list[int]]:
+        """Positions for every item, computing cache misses in one batched call."""
+        cache = self._cache_for(filter_)
+        missing = [item for item in items if item not in cache]
+        if missing:
+            unique = list(dict.fromkeys(missing))
+            for item, row in zip(unique, filter_.hash_family.indices_batch(unique)):
+                cache[item] = row
+        return [cache[item] for item in items]
 
     # -- weighted matching (Algorithm 2) --------------------------------------------
 
@@ -101,9 +143,27 @@ class BaseStationMatcher:
     def _match_items(
         self, items: list[object], wbf: WeightedBloomFilter
     ) -> dict[str, frozenset[Fraction]]:
+        return self._match_rows(self._rows_for_items(items, wbf), wbf)
+
+    def _match_rows(
+        self,
+        rows: list[list[int]],
+        wbf: WeightedBloomFilter,
+        *,
+        bits_checked: bool = False,
+    ) -> dict[str, frozenset[Fraction]]:
+        """Algorithm 2's per-candidate test over precomputed position rows.
+
+        The bit membership of every sampled value is tested in one vectorized
+        backend call (unless the caller already did); the sparse weight
+        intersection runs only when all bits pass, which on real workloads is
+        the rare case.
+        """
+        if not bits_checked and not all(wbf.bits_all_set_rows(rows)):
+            return {}
         common: set[tuple[str, Fraction]] | None = None
-        for item in items:
-            weights = wbf.query_weights_at(self._positions_for(item, wbf))
+        for row in rows:
+            weights = wbf.query_weights_at(row, bits_checked=True)
             if not weights:
                 return {}
             common = set(weights) if common is None else (common & weights)
@@ -119,7 +179,10 @@ class BaseStationMatcher:
     def match_against(self, encoded: EncodedQueryBatch) -> list[MatchReport]:
         """Match every locally stored pattern against the received WBF.
 
-        One report is emitted per (user, query, consistent weight); the similarity
+        The bit pre-check of *all* candidates' sampled values runs as one
+        vectorized row-test per station; only candidates whose every sampled
+        value hits all-1 bits proceed to the weight-intersection stage.  One
+        report is emitted per (user, query, consistent weight); the similarity
         ranker later selects one weight per reporting station when summing.
         """
         if encoded.config.sample_count != self._config.sample_count:
@@ -128,9 +191,22 @@ class BaseStationMatcher:
                 f"({encoded.config.sample_count} vs {self._config.sample_count}); "
                 "center and stations must share the configuration"
             )
+        wbf = encoded.wbf
+        candidate_rows = [
+            (user_id, self._rows_for_items(items, wbf))
+            for user_id, items in self._candidate_items
+        ]
+        flat_rows = [row for _, rows in candidate_rows for row in rows]
+        passed = wbf.bits_all_set_rows(flat_rows)
         reports: list[MatchReport] = []
-        for user_id, items in self._candidate_items:
-            matched = self._match_items(items, encoded.wbf)
+        offset = 0
+        for user_id, rows in candidate_rows:
+            row_count = len(rows)
+            bits_ok = all(passed[offset : offset + row_count])
+            offset += row_count
+            if not bits_ok:
+                continue
+            matched = self._match_rows(rows, wbf, bits_checked=True)
             for query_id, weights in matched.items():
                 for weight in weights:
                     reports.append(
@@ -149,15 +225,22 @@ class BaseStationMatcher:
         """Match every locally stored pattern against a plain Bloom filter.
 
         Used by the BF baseline: a pattern is reported when all its sampled values
-        are (possibly falsely) present; no weight is available.
+        are (possibly falsely) present; no weight is available.  All candidates'
+        probes run as a single vectorized row-test against the filter.
         """
+        candidate_rows = [
+            (user_id, self._rows_for_items(items, bloom))
+            for user_id, items in self._candidate_items
+        ]
+        flat_rows = [row for _, rows in candidate_rows for row in rows]
+        passed = bloom.bits.all_set_rows(flat_rows)
         reports: list[MatchReport] = []
-        for user_id, items in self._candidate_items:
-            if all(
-                all(bloom.bits.get(p) for p in self._positions_for(item, bloom))
-                for item in items
-            ):
+        offset = 0
+        for user_id, rows in candidate_rows:
+            row_count = len(rows)
+            if all(passed[offset : offset + row_count]):
                 reports.append(
                     MatchReport(user_id=user_id, station_id=self._station_id, weight=None)
                 )
+            offset += row_count
         return reports

@@ -17,7 +17,7 @@ floating-point tolerance and without mixing weights across unrelated query patte
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
 from repro.bloom.analysis import expected_false_positive_rate
 from repro.bloom.bitset import BitArray
@@ -27,12 +27,20 @@ from repro.utils.validation import require_positive
 
 
 class WeightedBloomFilter:
-    """Bloom filter whose set bits carry the weights of the values that set them."""
+    """Bloom filter whose set bits carry the weights of the values that set them.
 
-    def __init__(self, bit_count: int, hash_count: int, seed: int = 0) -> None:
+    ``backend`` selects the bit-storage backend ("auto", "python" or "numpy",
+    see :mod:`repro.bloom.backend`); "auto" uses NumPy when available.  The
+    weight map is a sparse Python dict on every backend — only the bit array and
+    the position arithmetic are vectorized.
+    """
+
+    def __init__(
+        self, bit_count: int, hash_count: int, seed: int = 0, backend: str = "auto"
+    ) -> None:
         require_positive(bit_count, "bit_count")
         require_positive(hash_count, "hash_count")
-        self._bits = BitArray(bit_count)
+        self._bits = BitArray(bit_count, backend=backend)
         self._hashes = HashFamily(hash_count, bit_count, seed=seed)
         # Sparse map: bit index -> set of weights attached to that bit.
         self._weights: dict[int, set[Hashable]] = {}
@@ -65,6 +73,11 @@ class WeightedBloomFilter:
         """The hash family used by this filter."""
         return self._hashes
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the bit-storage backend in use."""
+        return self._bits.backend_name
+
     # -- insertion ---------------------------------------------------------------
 
     def add(self, item: object, weight: Hashable) -> None:
@@ -81,15 +94,44 @@ class WeightedBloomFilter:
         self._item_count += 1
 
     def add_many(self, items: Iterable[object], weight: Hashable) -> None:
-        """Insert every item of ``items`` with the same ``weight``."""
-        for item in items:
-            self.add(item, weight)
+        """Insert every item of ``items`` with the same ``weight`` (batched)."""
+        self.insert_many(items, weight)
+
+    def insert_many(self, items: Iterable[object], weight: Hashable) -> None:
+        """Batched insert: one position computation and one bit write per batch.
+
+        The ``n × k`` positions are computed in a single
+        :meth:`~repro.bloom.hashing.HashFamily.indices_batch` call and the bits
+        set in one backend operation; the weight map is updated over the
+        deduplicated position set (many items share bits, so this does far fewer
+        dict operations than per-item insertion).
+        """
+        try:
+            hash(weight)
+        except TypeError as error:
+            raise TypeError(
+                f"weight must be hashable, got {type(weight).__name__}"
+            ) from error
+        items = list(items)
+        if not items:
+            return
+        rows = self._hashes.indices_batch(items)
+        flat = [position for row in rows for position in row]
+        self._bits.set_many(flat)
+        weights = self._weights
+        for position in set(flat):
+            weights.setdefault(position, set()).add(weight)
+        self._item_count += len(items)
 
     # -- queries -----------------------------------------------------------------
 
     def contains(self, item: object) -> bool:
         """Plain membership query, ignoring weights (no false negatives)."""
         return all(self._bits.get(position) for position in self._hashes.positions(item))
+
+    def contains_many(self, items: Sequence[object]) -> list[bool]:
+        """Batched membership probe: one verdict per item, in order."""
+        return self._bits.all_set_rows(self._hashes.indices_batch(items))
 
     def __contains__(self, item: object) -> bool:
         return self.contains(item)
@@ -104,22 +146,74 @@ class WeightedBloomFilter:
         """
         return self.query_weights_at(self._hashes.positions(item))
 
-    def query_weights_at(self, positions: Iterable[int]) -> frozenset:
+    def query_weights_at(
+        self, positions: Iterable[int], *, bits_checked: bool = False
+    ) -> frozenset:
         """Same as :meth:`query_weights` but for precomputed bit positions.
 
         Base stations probing one filter with many candidate patterns precompute the
         positions once per candidate (they depend only on ``m``, ``k`` and the seed)
-        and reuse them; this method is the fast path for that case.
+        and reuse them; this method is the fast path for that case.  Callers that
+        already verified all bits through a vectorized
+        :meth:`bits_all_set_rows` pre-check pass ``bits_checked=True`` to skip the
+        per-position scalar re-probe (a bit with an attached weight is set by
+        construction, so the intersection alone is sufficient then).
         """
         common: set[Hashable] | None = None
+        weights = self._weights
+        empty: frozenset = frozenset()
         for position in positions:
-            if not self._bits.get(position):
-                return frozenset()
-            attached = self._weights.get(position, set())
+            if bits_checked:
+                attached = weights.get(position)
+                if attached is None:
+                    return empty
+            else:
+                if not self._bits.get(position):
+                    return empty
+                attached = weights.get(position, set())
             common = set(attached) if common is None else (common & attached)
             if not common:
-                return frozenset()
+                return empty
         return frozenset(common if common is not None else ())
+
+    def query_many(self, items: Sequence[object]) -> list[frozenset]:
+        """Batched weighted query: one weight set per item, in order.
+
+        The bit-membership test for all ``n × k`` positions runs as a single
+        vectorized backend row-test; the (sparse, Python-side) weight
+        intersection runs only for the items whose bits all passed.
+        """
+        items = list(items)
+        rows = self._hashes.indices_batch(items)
+        return self.query_many_at(rows)
+
+    def bits_all_set_rows(self, rows: Sequence[Sequence[int]]) -> list[bool]:
+        """For each row of bit positions, True iff every bit is set.
+
+        The vectorized pre-check used by the batched station matcher: most
+        candidates fail on bits, and this rejects them all in one backend call
+        without touching the weight map.
+        """
+        return self._bits.all_set_rows(rows)
+
+    def query_many_at(self, rows: Sequence[Sequence[int]]) -> list[frozenset]:
+        """Same as :meth:`query_many` but for precomputed position rows."""
+        passed = self._bits.all_set_rows(rows)
+        results: list[frozenset] = []
+        weights = self._weights
+        empty = frozenset()
+        for row, bits_ok in zip(rows, passed):
+            if not bits_ok:
+                results.append(empty)
+                continue
+            common: set[Hashable] | None = None
+            for position in row:
+                attached = weights.get(position, set())
+                common = set(attached) if common is None else (common & attached)
+                if not common:
+                    break
+            results.append(frozenset(common) if common else empty)
+        return results
 
     # -- introspection -------------------------------------------------------------
 

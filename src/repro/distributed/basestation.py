@@ -31,5 +31,12 @@ class BaseStationNode(Node):
         return self._patterns.size_bytes()
 
     def run_matching(self, protocol: MatchingProtocol, artifact: object | None) -> list[object]:
-        """Execute the protocol's per-station phase against the local patterns."""
+        """Execute the protocol's per-station phase against the local patterns.
+
+        The WBF/BF protocols probe all local candidates through the batched
+        vectorized path (one bit row-test per station, see
+        :meth:`repro.core.matcher.BaseStationMatcher.match_against`) and cache
+        the station's matcher across rounds, so repeated broadcasts to the same
+        node reuse the precomputed candidate items and bit positions.
+        """
         return protocol.station_match(self.node_id, self._patterns, artifact)

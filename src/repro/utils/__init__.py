@@ -4,6 +4,8 @@ These helpers are deliberately dependency-light so every other subpackage can us
 them without import cycles.
 """
 
+# make_rng/spawn_rngs construct NumPy generators lazily, so this import works
+# without NumPy; only calling them then raises.
 from repro.utils.rng import derive_seed, make_rng, spawn_rngs
 from repro.utils.serialization import (
     estimate_size_bytes,

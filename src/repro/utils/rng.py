@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import hashlib
 
-import numpy as np
+try:
+    # The generators are NumPy ones; seed derivation below stays pure-Python so
+    # the matching core can import this module without NumPy installed.
+    import numpy as np
+except ImportError:  # pragma: no cover - covered by the no-NumPy CI leg
+    np = None
 
 
 def derive_seed(base_seed: int, *labels: object) -> int:
@@ -27,12 +32,17 @@ def derive_seed(base_seed: int, *labels: object) -> int:
     return int.from_bytes(digest.digest()[:8], "big")
 
 
-def make_rng(seed: int, *labels: object) -> np.random.Generator:
+def make_rng(seed: int, *labels: object) -> "np.random.Generator":
     """Create a :class:`numpy.random.Generator` seeded from ``seed`` and ``labels``."""
+    if np is None:
+        raise ImportError(
+            "repro's synthetic-data layer requires NumPy (pip install 'repro-dimatching[fast]'); "
+            "only the matching core and Bloom substrate work without it"
+        )
     return np.random.default_rng(derive_seed(seed, *labels))
 
 
-def spawn_rngs(seed: int, count: int, *labels: object) -> list[np.random.Generator]:
+def spawn_rngs(seed: int, count: int, *labels: object) -> "list[np.random.Generator]":
     """Create ``count`` independent generators derived from ``seed`` and ``labels``."""
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")

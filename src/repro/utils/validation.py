@@ -71,11 +71,15 @@ def require_all_integers(values: Iterable[Any], name: str) -> list[int]:
     The paper restricts pattern values to natural numbers (call counts, durations in
     whole seconds, partner counts), so the time-series layer enforces integer inputs.
     """
-    out: list[int] = []
-    for index, value in enumerate(values):
+    out = list(values)
+    # Fast path first: the per-element loop below only runs to build the error
+    # message, so valid inputs (the overwhelmingly common case on the encoder
+    # and matcher hot paths) pay a single C-level all() scan.
+    if all(type(value) is int for value in out):
+        return out
+    for index, value in enumerate(out):
         if isinstance(value, bool) or not isinstance(value, (int,)):
             raise TypeError(
                 f"{name}[{index}] must be an integer, got {type(value).__name__}: {value!r}"
             )
-        out.append(int(value))
-    return out
+    return [int(value) for value in out]

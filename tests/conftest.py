@@ -18,16 +18,22 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.core.config import DIMatchingConfig  # noqa: E402
-from repro.datagen.workload import (  # noqa: E402
-    DatasetSpec,
-    build_dataset,
-    build_query_workload,
-)
+
+# The datagen layer (and therefore the dataset fixtures below) requires NumPy;
+# it is imported lazily so the substrate/core tests still collect and run on
+# interpreters without NumPy (the pure-Python bit-backend fallback leg).
+
+
+def _datagen():
+    from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
+
+    return DatasetSpec, build_dataset, build_query_workload
 
 
 @pytest.fixture(scope="session")
-def small_spec() -> DatasetSpec:
+def small_spec():
     """A small dataset specification shared by most integration-style tests."""
+    DatasetSpec, _, _ = _datagen()
     return DatasetSpec(
         users_per_category=8,
         station_count=4,
@@ -43,18 +49,21 @@ def small_spec() -> DatasetSpec:
 @pytest.fixture(scope="session")
 def small_dataset(small_spec):
     """A small exact-matching dataset (no noise)."""
+    _, build_dataset, _ = _datagen()
     return build_dataset(small_spec)
 
 
 @pytest.fixture(scope="session")
 def small_workload(small_dataset):
     """A six-query workload over the small dataset (ε = 0)."""
+    _, _, build_query_workload = _datagen()
     return build_query_workload(small_dataset, query_count=6, epsilon=0, seed=7)
 
 
 @pytest.fixture(scope="session")
 def noisy_dataset():
     """A dataset with timing jitter, used by ε > 0 tests."""
+    DatasetSpec, build_dataset, _ = _datagen()
     return build_dataset(
         DatasetSpec(
             users_per_category=8,
@@ -72,6 +81,7 @@ def noisy_dataset():
 @pytest.fixture(scope="session")
 def noisy_workload(noisy_dataset):
     """A workload over the noisy dataset with ε = 2."""
+    _, _, build_query_workload = _datagen()
     return build_query_workload(noisy_dataset, query_count=6, epsilon=2, seed=13)
 
 

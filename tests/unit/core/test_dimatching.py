@@ -44,6 +44,17 @@ class TestProtocolInterface:
         with pytest.raises(MatchingError):
             protocol.station_match("bs-x", PatternSet(), artifact="not-a-batch")
 
+    def test_station_match_sees_patterns_added_between_rounds(self):
+        # The per-station matcher cache must not serve stale candidates when the
+        # station's PatternSet is grown in place between broadcasts.
+        protocol = DIMatchingProtocol(DIMatchingConfig(sample_count=4))
+        artifact = protocol.encode([_query()])
+        patterns = PatternSet([LocalPattern("bob", [9, 9, 9, 9], "bs-x")])
+        assert protocol.station_match("bs-x", patterns, artifact) == []
+        patterns.add(LocalPattern("alice", [1, 3, 2, 4], "bs-x"))
+        reports = protocol.station_match("bs-x", patterns, artifact)
+        assert [report.user_id for report in reports] == ["alice"]
+
     def test_aggregate_rejects_foreign_reports(self):
         protocol = DIMatchingProtocol()
         with pytest.raises(MatchingError):
