@@ -69,10 +69,12 @@ def test_ablation_communication_scaling(benchmark):
     )
 
     # The naive upload grows linearly with the population while the filter downlink
-    # is fixed by the query batch, so the WBF's relative advantage widens with scale.
+    # is fixed by the query batch, so the WBF's relative advantage widens with scale
+    # (with real wire-codec bytes the crossover sits around a few hundred users for
+    # this six-query batch; the paper's 3.6 M-user setting is far beyond it).
     ratios = [r["wbf_bytes"] / r["naive_bytes"] for r in rows]
-    assert ratios[-1] < ratios[0]
-    assert ratios[-1] < 0.35
+    assert ratios[-1] < ratios[0] / 4
+    assert ratios[-1] < 0.55
 
     # The BF uplink (dominated by false-positive id reports) grows with the
     # population — at city scale this is the component that would dwarf everything

@@ -1,10 +1,12 @@
 """Figure 4(d): storage cost (fraction of the naive method) versus pattern count.
 
 Expected shape: the naive method duplicates the entire raw dataset at the data
-center, while the filter-based methods only store the distributed filter and the
-reports, so their storage overhead is a small fraction of naive; the WBF costs
-slightly more than the plain BF (the per-bit weight pointers), which is the storage
-trade-off the paper accepts for the accuracy gain.
+center (flat in the pattern count), while the filter methods store the distributed
+filter plus the reports — growing with the pattern count, as in the paper's
+Figure 4(d); the WBF costs more than the plain BF (the per-bit weight pointers),
+which is the storage trade-off the paper accepts for the accuracy gain.  With the
+wire codec charging real encoded bytes, the WBF curve crosses naive within this
+sweep at our synthetic users-to-patterns ratio (see bench_fig4c_communication.py).
 """
 
 from conftest import write_report
@@ -30,7 +32,13 @@ def test_figure_4d_storage_cost(
 
     series = comparison_series(figure4_sweep, "storage")
     assert all(value == 1.0 for value in series["naive"])
-    assert all(value < 0.7 for value in series["wbf"])
-    assert all(value < 0.7 for value in series["bf"])
-    # The weights make the WBF slightly larger than the plain BF, never smaller.
+    assert all(value < 0.35 for value in series["bf"])
+    # Filter storage grows with the pattern count; in the paper's regime (left
+    # half of the sweep) the WBF stays a fraction of naive.
+    assert all(
+        later > earlier for earlier, later in zip(series["wbf"], series["wbf"][1:])
+    )
+    assert series["wbf"][0] < 0.3
+    assert series["wbf"][1] < 0.55
+    # The weights make the WBF larger than the plain BF, never smaller.
     assert all(wbf >= bf for wbf, bf in zip(series["wbf"], series["bf"]))

@@ -40,6 +40,24 @@ HAS_NUMPY = _np is not None
 BACKEND_CHOICES = ("auto", "python", "numpy")
 
 
+def iter_set_bits_in_bytes(data: bytes, bit_count: int) -> Iterator[int]:
+    """Yield set-bit indices of a canonical bit buffer in ascending order.
+
+    Works on the raw byte layout (bit ``i`` at byte ``i >> 3``, position
+    ``i & 7``) so callers that hold serialized bits — the wire codec, a backend
+    — share one definition of "set bits".
+    """
+    for byte_index, byte in enumerate(data):
+        if not byte:
+            continue
+        base = byte_index << 3
+        for offset in range(8):
+            if byte & (1 << offset):
+                index = base + offset
+                if index < bit_count:
+                    yield index
+
+
 class BackendUnavailableError(RuntimeError):
     """Raised when an explicitly requested backend cannot be constructed."""
 
@@ -139,15 +157,7 @@ class BitBackend(ABC):
 
     def iter_set_bits(self) -> Iterator[int]:
         """Yield indices of set bits in increasing order."""
-        for byte_index, byte in enumerate(self.to_bytes()):
-            if not byte:
-                continue
-            base = byte_index << 3
-            for bit in range(8):
-                if byte & (1 << bit):
-                    index = base + bit
-                    if index < self._length:
-                        yield index
+        return iter_set_bits_in_bytes(self.to_bytes(), self._length)
 
     # -- helpers ---------------------------------------------------------------
 

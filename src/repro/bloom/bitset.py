@@ -44,6 +44,20 @@ class BitArray:
         return bits
 
     @classmethod
+    def from_bytes(
+        cls, length: int, data: bytes, backend: str = "python"
+    ) -> "BitArray":
+        """Reconstruct a bit array from its canonical serialization.
+
+        ``data`` must be exactly ``(length + 7) // 8`` bytes in the canonical
+        layout of :meth:`to_bytes`; ``backend`` selects the storage backend the
+        bits are materialized on (a local choice — the bytes are backend-free).
+        """
+        from repro.bloom.backend import resolve_backend_class
+
+        return cls._wrap(resolve_backend_class(backend).from_bytes(length, data))
+
+    @classmethod
     def _wrap(cls, backend: BitBackend) -> "BitArray":
         bits = cls.__new__(cls)
         bits._backend = backend

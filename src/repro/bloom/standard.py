@@ -30,8 +30,19 @@ class BloomFilter:
         self._bits = BitArray(bit_count, backend=backend)
         self._hashes = HashFamily(hash_count, bit_count, seed=seed)
         self._item_count = 0
+        self._revision = 0
 
     # -- properties ------------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter, bumped by every insertion.
+
+        The wire codec keys its per-object encoding cache on this, so encoding
+        a filter, mutating it, and encoding again can never serve stale bytes.
+        (Mutating the exposed ``bits`` array directly bypasses the counter.)
+        """
+        return self._revision
 
     @property
     def bit_count(self) -> int:
@@ -63,6 +74,42 @@ class BloomFilter:
         """Name of the bit-storage backend in use."""
         return self._bits.backend_name
 
+    # -- construction from wire state ------------------------------------------
+
+    @classmethod
+    def from_state(
+        cls,
+        bit_count: int,
+        hash_count: int,
+        seed: int,
+        bits: bytes,
+        item_count: int,
+        backend: str = "auto",
+    ) -> "BloomFilter":
+        """Reconstruct a filter from decoded wire state.
+
+        ``bits`` is the canonical serialization of the bit array; ``backend``
+        is the local storage choice and never travels on the wire.
+        """
+        bloom = cls(bit_count, hash_count, seed=seed, backend=backend)
+        bloom._bits = BitArray.from_bytes(bit_count, bits, backend=backend)
+        bloom._item_count = int(item_count)
+        return bloom
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same parameters, same bits (backend-agnostic)."""
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return (
+            self.bit_count == other.bit_count
+            and self.hash_count == other.hash_count
+            and self._hashes.seed == other._hashes.seed
+            and self._item_count == other._item_count
+            and self._bits.to_bytes() == other._bits.to_bytes()
+        )
+
+    __hash__ = None  # mutable: adding items changes equality
+
     # -- core operations -------------------------------------------------------
 
     def add(self, item: object) -> None:
@@ -70,6 +117,7 @@ class BloomFilter:
         for position in self._hashes.positions(item):
             self._bits.set(position)
         self._item_count += 1
+        self._revision += 1
 
     def add_many(self, items: Iterable[object]) -> None:
         """Insert every item of ``items`` through the batched backend path.
@@ -81,6 +129,7 @@ class BloomFilter:
         rows = self._hashes.indices_batch(items)
         self._bits.set_many([position for row in rows for position in row])
         self._item_count += len(items)
+        self._revision += 1
 
     def contains(self, item: object) -> bool:
         """Return True if ``item`` may be in the set (no false negatives)."""

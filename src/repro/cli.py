@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.config import DIMatchingConfig
+from repro.core.config import DIMatchingConfig, EXECUTOR_CHOICES
 from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
 from repro.evaluation.experiments import (
     convergence_study,
@@ -35,6 +35,14 @@ from repro.evaluation.reporting import (
     format_effectiveness_table,
 )
 from repro.utils.asciiplot import render_cdf, render_line_chart, render_table
+
+
+def _non_negative_int(text: str) -> int:
+    """Argparse type for counts where 0 means "auto"."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (0 = auto), got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--bit-backend", default="auto", choices=["auto", "python", "numpy"],
         help="Bit-storage backend for the BF/WBF filters (auto = NumPy when available).",
+    )
+    compare.add_argument(
+        "--executor", default="serial", choices=list(EXECUTOR_CHOICES),
+        help="Station-execution backend: serial (default), thread, or process "
+        "(results are identical across executors; only wall-clock changes).",
+    )
+    compare.add_argument(
+        "--shards", type=_non_negative_int, default=0,
+        help="Number of station shards for the executor (0 = auto: one per "
+        "station when serial, one per worker otherwise).",
     )
 
     table2 = subparsers.add_parser("table2", help="Reproduce Table II (effectiveness).")
@@ -102,7 +120,17 @@ def _run_compare(args: argparse.Namespace) -> str:
         sample_count=args.sample_count,
         bit_backend=args.bit_backend,
     )
-    result = run_comparison(dataset, workload, config, methods=tuple(args.methods))
+    # The simulation-level override applies the chosen executor uniformly to
+    # every method (the naive/local baselines carry no DIMatchingConfig);
+    # library users can instead set DIMatchingConfig.executor per protocol.
+    result = run_comparison(
+        dataset,
+        workload,
+        config,
+        methods=tuple(args.methods),
+        executor=args.executor,
+        shard_count=args.shards,
+    )
     rows = []
     for method in args.methods:
         outcome = result.outcome(method)

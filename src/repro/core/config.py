@@ -18,6 +18,10 @@ from dataclasses import dataclass, replace
 from repro.core.exceptions import ConfigurationError
 from repro.utils.validation import require_non_negative, require_positive
 
+#: Station-execution backends accepted by ``DIMatchingConfig.executor`` and the
+#: distributed simulator (see :mod:`repro.distributed.executor`).
+EXECUTOR_CHOICES = ("serial", "thread", "process")
+
 
 @dataclass(frozen=True)
 class DIMatchingConfig:
@@ -45,6 +49,16 @@ class DIMatchingConfig:
     #: throughput — filters are bit-identical and wire-compatible across
     #: backends, so center and stations may even disagree on it.
     bit_backend: str = "auto"
+    #: Station-execution backend for the distributed simulator: "serial" (one
+    #: in-process shard per station, the historical behavior), "thread" or
+    #: "process" (shards dispatched through ``concurrent.futures``).  Like
+    #: ``bit_backend`` this is a local runtime knob: results and byte counts
+    #: are identical across executors, only wall-clock changes, and the wire
+    #: codec never ships it.
+    executor: str = "serial"
+    #: Number of station shards for the executor; 0 (auto) means one shard per
+    #: station when serial, one per worker otherwise.
+    shard_count: int = 0
     #: Hash ``(time index, accumulated value)`` tuples rather than bare values.  The
     #: accumulation transform already embeds order, but including the index removes
     #: residual cross-position collisions; the paper hashes values only, so this is
@@ -88,6 +102,14 @@ class DIMatchingConfig:
             raise ConfigurationError(
                 "bit_backend must be 'auto', 'python' or 'numpy', "
                 f"got {self.bit_backend!r}"
+            )
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_CHOICES}, got {self.executor!r}"
+            )
+        if not isinstance(self.shard_count, int) or self.shard_count < 0:
+            raise ConfigurationError(
+                f"shard_count must be a non-negative integer (0 = auto), got {self.shard_count!r}"
             )
         if self.epsilon_tolerance_mode not in ("interval", "accumulated"):
             raise ConfigurationError(

@@ -65,7 +65,12 @@ class EncodedQueryBatch:
     inserted_item_count: int
 
     def size_bytes(self) -> int:
-        """Downlink size charged when the batch is broadcast to a station."""
+        """Estimate-model size of the batch (the contained WBF's estimate).
+
+        The simulator charges the *real* wire encoding
+        (``repro.wire.encoded_size``); this estimate remains as the
+        cross-checked baseline of the legacy cost model.
+        """
         return self.wbf.size_bytes()
 
 

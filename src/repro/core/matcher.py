@@ -41,6 +41,16 @@ class StationMatcherCache:
         self._config = config
         self._matchers: dict[str, tuple[PatternSet, int, "BaseStationMatcher"]] = {}
 
+    def __getstate__(self) -> dict:
+        # Cached matchers are keyed by PatternSet identity, which does not
+        # survive pickling (process-executor workers receive copies), so only
+        # the configuration travels; workers rebuild matchers on demand.
+        return {"_config": self._config}
+
+    def __setstate__(self, state: dict) -> None:
+        self._config = state["_config"]
+        self._matchers = {}
+
     def matcher_for(self, station_id: str, patterns: PatternSet) -> "BaseStationMatcher":
         cached = self._matchers.get(station_id)
         if cached is not None:

@@ -26,6 +26,12 @@ class ContinuousMatchingSession:
     (replacing that station's stored pattern set) and serves the current ranked
     results on demand.  Only updated stations are re-matched; aggregation runs over
     the cached reports of every station.
+
+    The session also maintains *wire deltas*: each update marks its station
+    dirty, and :meth:`collect_deltas` re-encodes (through :mod:`repro.wire`)
+    and returns only the dirty stations' report payloads — the bytes a real
+    deployment would re-ship upstream.  Unchanged stations are neither
+    re-matched nor re-encoded.
     """
 
     def __init__(self, protocol: MatchingProtocol, queries: Sequence[QueryPattern]) -> None:
@@ -40,6 +46,12 @@ class ContinuousMatchingSession:
         self._reports_by_station: dict[str, list[object]] = {}
         self._update_count = 0
         self._matching_runs = 0
+        # Wire-delta state: stations changed since the last collect_deltas(),
+        # in update order, plus per-station encoded payload caches.
+        self._dirty: dict[str, None] = {}
+        self._encoded_reports: dict[str, bytes] = {}
+        self._delta_bytes_shipped = 0
+        self._encoding_runs = 0
 
     # -- properties ------------------------------------------------------------
 
@@ -85,15 +97,64 @@ class ContinuousMatchingSession:
         if not isinstance(patterns, PatternSet):
             raise TypeError(f"patterns must be a PatternSet, got {type(patterns).__name__}")
         reports = self._protocol.station_match(station_id, patterns, self._artifact)
-        self._reports_by_station[str(station_id)] = list(reports)
+        key = str(station_id)
+        self._reports_by_station[key] = list(reports)
         self._update_count += 1
         self._matching_runs += 1
+        self._dirty[key] = None
+        self._encoded_reports.pop(key, None)
         return len(reports)
 
     def remove_station(self, station_id: str) -> None:
         """Drop a station's cached reports (e.g. the station went offline)."""
-        self._reports_by_station.pop(str(station_id), None)
+        key = str(station_id)
+        self._reports_by_station.pop(key, None)
         self._update_count += 1
+        self._dirty.pop(key, None)
+        self._encoded_reports.pop(key, None)
+
+    # -- wire deltas -------------------------------------------------------------
+
+    @property
+    def dirty_station_ids(self) -> tuple[str, ...]:
+        """Stations updated since the last :meth:`collect_deltas`, in update order."""
+        return tuple(self._dirty)
+
+    @property
+    def delta_bytes_shipped(self) -> int:
+        """Total wire bytes returned by :meth:`collect_deltas` so far."""
+        return self._delta_bytes_shipped
+
+    @property
+    def encoding_runs(self) -> int:
+        """Number of per-station report encodings performed (encode-cache misses)."""
+        return self._encoding_runs
+
+    def encoded_reports_for(self, station_id: str) -> bytes:
+        """The wire encoding of one station's cached reports (memoized)."""
+        from repro import wire
+
+        key = str(station_id)
+        cached = self._encoded_reports.get(key)
+        if cached is None:
+            cached = wire.encode(list(self._reports_by_station.get(key, [])))
+            self._encoded_reports[key] = cached
+            self._encoding_runs += 1
+        return cached
+
+    def collect_deltas(self) -> dict[str, bytes]:
+        """Encode and return the payloads of stations changed since the last call.
+
+        Only dirty stations are (re-)encoded through the wire codec — a burst
+        of updates at one cell re-ships one station's reports, not the whole
+        round.  Returns ``station_id -> wire bytes`` in update order and clears
+        the dirty set; the returned bytes decode back to the report lists via
+        :func:`repro.wire.decode`.
+        """
+        deltas = {key: self.encoded_reports_for(key) for key in self._dirty}
+        self._dirty.clear()
+        self._delta_bytes_shipped += sum(len(data) for data in deltas.values())
+        return deltas
 
     # -- queries ----------------------------------------------------------------
 

@@ -45,6 +45,7 @@ class WeightedBloomFilter:
         # Sparse map: bit index -> set of weights attached to that bit.
         self._weights: dict[int, set[Hashable]] = {}
         self._item_count = 0
+        self._revision = 0
 
     # -- properties ------------------------------------------------------------
 
@@ -78,6 +79,68 @@ class WeightedBloomFilter:
         """Name of the bit-storage backend in use."""
         return self._bits.backend_name
 
+    @property
+    def revision(self) -> int:
+        """Mutation counter, bumped by every insertion.
+
+        The wire codec keys its per-object encoding cache on this, so encoding
+        a filter, mutating it, and encoding again can never serve stale bytes.
+        """
+        return self._revision
+
+    # -- construction from wire state ----------------------------------------------
+
+    @classmethod
+    def from_state(
+        cls,
+        bit_count: int,
+        hash_count: int,
+        seed: int,
+        bits: bytes,
+        weights: dict[int, frozenset],
+        item_count: int,
+        backend: str = "auto",
+    ) -> "WeightedBloomFilter":
+        """Reconstruct a filter from decoded wire state.
+
+        ``bits`` is the canonical bit-array serialization and ``weights`` maps
+        bit positions to the weight sets attached there; ``backend`` is the
+        local storage choice and never travels on the wire.
+        """
+        wbf = cls(bit_count, hash_count, seed=seed, backend=backend)
+        wbf._bits = BitArray.from_bytes(bit_count, bits, backend=backend)
+        wbf._weights = {int(position): set(attached) for position, attached in weights.items()}
+        wbf._item_count = int(item_count)
+        return wbf
+
+    def weight_entries(self) -> list[tuple[int, frozenset]]:
+        """The sparse weight map as ``(position, weights)`` pairs, positions ascending.
+
+        This is the canonical iteration order the wire codec serializes, so two
+        filters holding the same weights produce identical bytes regardless of
+        insertion order or bit backend.
+        """
+        return [
+            (position, frozenset(self._weights[position]))
+            for position in sorted(self._weights)
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: parameters, bits and weight map (backend-agnostic)."""
+        if not isinstance(other, WeightedBloomFilter):
+            return NotImplemented
+        return (
+            self.bit_count == other.bit_count
+            and self.hash_count == other.hash_count
+            and self.seed == other.seed
+            and self._item_count == other._item_count
+            and self._bits.to_bytes() == other._bits.to_bytes()
+            and {p: frozenset(w) for p, w in self._weights.items()}
+            == {p: frozenset(w) for p, w in other._weights.items()}
+        )
+
+    __hash__ = None  # mutable: adding items changes equality
+
     # -- insertion ---------------------------------------------------------------
 
     def add(self, item: object, weight: Hashable) -> None:
@@ -92,6 +155,7 @@ class WeightedBloomFilter:
             self._bits.set(position)
             self._weights.setdefault(position, set()).add(weight)
         self._item_count += 1
+        self._revision += 1
 
     def add_many(self, items: Iterable[object], weight: Hashable) -> None:
         """Insert every item of ``items`` with the same ``weight`` (batched)."""
@@ -122,6 +186,7 @@ class WeightedBloomFilter:
         for position in set(flat):
             weights.setdefault(position, set()).add(weight)
         self._item_count += len(items)
+        self._revision += 1
 
     # -- queries -----------------------------------------------------------------
 
@@ -237,13 +302,16 @@ class WeightedBloomFilter:
         return result
 
     def size_bytes(self) -> int:
-        """Serialized size charged when the WBF is distributed to base stations.
+        """Estimate-model serialized size of the WBF.
 
-        The wire format is the bit array, a table of the distinct weights (8 bytes
-        each — weights are repeated across many bits, so they are stored once), and a
+        Models the bit array, a table of the distinct weights (8 bytes each —
+        weights are repeated across many bits, so they are stored once), and a
         2-byte table index per (set bit, weight) pointer.  This is what makes the WBF
         marginally larger than a plain Bloom filter of the same length — the storage
-        trade-off discussed with Figure 4(d).
+        trade-off discussed with Figure 4(d).  The *real* encoded size charged by
+        the simulator comes from ``repro.wire`` (same structure: canonical bits, a
+        sorted weight table, per-set-bit index lists); the test suite holds this
+        estimate within a documented factor of it.
         """
         weight_pointer_bytes = 2
         pointer_entries = sum(len(attached) for attached in self._weights.values())

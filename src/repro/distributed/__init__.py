@@ -9,6 +9,12 @@ is exactly what Figure 4 reports.
 
 from repro.distributed.basestation import BaseStationNode
 from repro.distributed.datacenter import DataCenterNode
+from repro.distributed.executor import (
+    ShardedStationRunner,
+    ShardOutcome,
+    merge_shard_outcomes,
+    partition_round_robin,
+)
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig, SimulatedNetwork
@@ -18,6 +24,10 @@ from repro.distributed.simulator import DistributedSimulation, SimulationOutcome
 __all__ = [
     "BaseStationNode",
     "DataCenterNode",
+    "ShardedStationRunner",
+    "ShardOutcome",
+    "merge_shard_outcomes",
+    "partition_round_robin",
     "Message",
     "MessageKind",
     "CostReport",

@@ -1,0 +1,198 @@
+"""Sharded execution of the per-station matching phase.
+
+The paper models base stations as running their matching phase concurrently
+(one thread per station), so the phase's wall time is the maximum over
+stations.  This module makes that model executable: stations are partitioned
+into *shards*, each shard runs the protocol's ``station_match`` for its
+stations, and shards execute through a pluggable backend —
+
+* ``"serial"`` — in-process loop, one shard per station by default (exactly
+  the historical behavior, and the per-station timing the latency model uses);
+* ``"thread"`` — :class:`concurrent.futures.ThreadPoolExecutor`; effective
+  when matching releases the GIL (NumPy row-tests) or stations are I/O-bound;
+* ``"process"`` — :class:`concurrent.futures.ProcessPoolExecutor`; true
+  parallelism for CPU-bound pure-Python matching.  Protocols, pattern sets and
+  artifacts are pickled to the workers, so matcher caches are rebuilt there.
+
+Results are returned keyed by station id and are *identical* across executors
+(matching is deterministic and aggregation happens in station order at the
+caller), which the integration suite asserts; only the timing differs.  The
+per-shard elapsed times feed the existing max-over-stations latency model: a
+shard is the unit that runs sequentially, so the simulated station phase costs
+``max`` over shard times.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.config import EXECUTOR_CHOICES
+from repro.core.protocol import MatchingProtocol
+from repro.timeseries.pattern import PatternSet
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.distributed.basestation import BaseStationNode
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Reports and timing of one shard's sequential run."""
+
+    shard_index: int
+    #: ``(station_id, reports)`` in shard order — tuples, so process workers
+    #: return a compact picklable structure.
+    reports_by_station: tuple[tuple[str, tuple[object, ...]], ...]
+    elapsed_s: float
+
+
+def partition_round_robin(count: int, shard_count: int) -> list[list[int]]:
+    """Distribute ``count`` item indices over ``shard_count`` shards round-robin.
+
+    Round-robin keeps shards balanced when station sizes correlate with
+    position (e.g. central stations first); order within a shard follows the
+    original order, so results stay deterministic.
+    """
+    if shard_count <= 0:
+        raise ValueError(f"shard_count must be positive, got {shard_count}")
+    shards = [list(range(start, count, shard_count)) for start in range(shard_count)]
+    return [shard for shard in shards if shard]
+
+
+def _match_shard(
+    shard_index: int,
+    protocol: MatchingProtocol,
+    stations: Sequence[tuple[str, PatternSet]],
+    artifact: object | None,
+) -> ShardOutcome:
+    """Run one shard sequentially; module-level so process pools can pickle it."""
+    start = time.perf_counter()
+    results = tuple(
+        (station_id, tuple(protocol.station_match(station_id, patterns, artifact)))
+        for station_id, patterns in stations
+    )
+    return ShardOutcome(
+        shard_index=shard_index,
+        reports_by_station=results,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+class ShardedStationRunner:
+    """Partitions stations into shards and runs them on the selected executor.
+
+    Pool executors are created lazily on first use and **reused across
+    :meth:`run` calls** (a Figure-4 sweep drives many rounds; re-forking a
+    process pool per round would eat the parallelism gains), so call
+    :meth:`close` — or use the runner as a context manager — when done.  An
+    unclosed pool is still reclaimed at interpreter exit by
+    ``concurrent.futures``' atexit handling.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        shard_count: int = 0,
+        max_workers: int | None = None,
+    ) -> None:
+        if executor not in EXECUTOR_CHOICES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_CHOICES}, got {executor!r}"
+            )
+        if shard_count < 0:
+            raise ValueError(f"shard_count must be >= 0 (0 = auto), got {shard_count}")
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self._executor = executor
+        self._shard_count = shard_count
+        self._max_workers = max_workers
+        self._pool: Executor | None = None
+
+    @property
+    def executor(self) -> str:
+        """The configured executor backend name."""
+        return self._executor
+
+    def resolve_worker_count(self) -> int:
+        """Number of concurrent workers the pool executors will use."""
+        if self._max_workers is not None:
+            return self._max_workers
+        return os.cpu_count() or 1
+
+    def resolve_shard_count(self, station_count: int) -> int:
+        """Effective shard count for ``station_count`` stations.
+
+        ``shard_count == 0`` (auto) means one shard per station under the
+        serial executor — reproducing the paper's one-thread-per-station
+        latency model exactly — and one shard per worker under the pool
+        executors, so each worker receives one contiguous stream of work.
+        """
+        if station_count == 0:
+            return 0
+        if self._shard_count:
+            return min(self._shard_count, station_count)
+        if self._executor == "serial":
+            return station_count
+        return min(self.resolve_worker_count(), station_count)
+
+    def run(
+        self,
+        protocol: MatchingProtocol,
+        stations: "Sequence[BaseStationNode]",
+        artifact: object | None,
+    ) -> list[ShardOutcome]:
+        """Match every station and return one outcome per (non-empty) shard."""
+        shard_count = self.resolve_shard_count(len(stations))
+        if shard_count == 0:
+            return []
+        payload = [(station.node_id, station.patterns) for station in stations]
+        shards = [
+            [payload[index] for index in indices]
+            for indices in partition_round_robin(len(payload), shard_count)
+        ]
+        if self._executor == "serial":
+            return [
+                _match_shard(index, protocol, shard, artifact)
+                for index, shard in enumerate(shards)
+            ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_match_shard, index, protocol, shard, artifact)
+            for index, shard in enumerate(shards)
+        ]
+        # Collect in submission order: determinism comes from station ids,
+        # not completion order.
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            workers = self.resolve_worker_count()
+            if self._executor == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the pool (no-op for the serial executor or before first use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedStationRunner":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+
+def merge_shard_outcomes(outcomes: Sequence[ShardOutcome]) -> dict[str, list[object]]:
+    """Flatten shard outcomes into ``station_id -> reports`` for aggregation."""
+    merged: dict[str, list[object]] = {}
+    for outcome in outcomes:
+        for station_id, reports in outcome.reports_by_station:
+            merged[station_id] = list(reports)
+    return merged

@@ -1,4 +1,12 @@
-"""Messages exchanged between the data center and base stations."""
+"""Messages exchanged between the data center and base stations.
+
+Since the wire codec (:mod:`repro.wire`) landed, a message's ``size_bytes()``
+is the length of its *actual* binary encoding — header, routing fields and the
+canonically encoded payload — not a per-field estimate.  The old estimate
+model survives as :meth:`Message.estimated_size_bytes`: it is cross-checked
+against the codec in the test suite and remains the fallback for payload
+objects outside the protocol vocabulary (raw in-memory baselines).
+"""
 
 from __future__ import annotations
 
@@ -28,16 +36,108 @@ class Message:
     kind: MessageKind
     payload: object | None = None
 
+    def to_wire(self, compress: bool = False) -> bytes:
+        """The full binary encoding of this message (envelope plus payload).
+
+        Raises :class:`~repro.wire.errors.UnsupportedWireTypeError` when the
+        payload has no wire encoding; uncompressed encodings are memoized per
+        message instance.
+        """
+        from repro import wire
+
+        if compress:
+            return wire.encode(self, compress=True)
+        revision = wire.object_revision(self.payload)
+        cached = getattr(self, "_wire_cache", None)
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        data = wire.encode(self)
+        object.__setattr__(self, "_wire_cache", (revision, data))
+        return data
+
+    @classmethod
+    def from_wire(cls, data: bytes, backend: str = "auto") -> "Message":
+        """Decode a message from its binary encoding.
+
+        Raises :class:`~repro.wire.errors.WireFormatError` when ``data`` is not
+        a message encoding.
+        """
+        from repro import wire
+
+        decoded = wire.decode(data, backend=backend)
+        if not isinstance(decoded, cls):
+            raise wire.WireFormatError(
+                f"buffer holds a {type(decoded).__name__}, not a Message"
+            )
+        return decoded
+
+    def payload_wire(self) -> bytes:
+        """The payload's own wire encoding, memoized per message instance.
+
+        The envelope encoder embeds exactly these bytes, so building the
+        envelope and charging ``payload_bytes()`` in the same round encodes the
+        payload once even for list payloads (which the codec's weak-ref cache
+        cannot hold).  Raises
+        :class:`~repro.wire.errors.UnsupportedWireTypeError` for payloads
+        outside the codec's vocabulary.
+        """
+        from repro import wire
+
+        revision = wire.object_revision(self.payload)
+        cached = getattr(self, "_payload_wire_cache", None)
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        data = wire.encode_cached(self.payload)
+        object.__setattr__(self, "_payload_wire_cache", (revision, data))
+        return data
+
     def payload_bytes(self) -> int:
-        """Serialized size of the payload alone."""
-        return estimate_size_bytes(self.payload)
+        """Serialized size of the payload alone (real codec bytes when possible)."""
+        from repro import wire
+
+        try:
+            return len(self.payload_wire())
+        except wire.UnsupportedWireTypeError:
+            return estimate_size_bytes(self.payload)
 
     def size_bytes(self) -> int:
-        """Total on-the-wire size: payload plus a fixed envelope overhead."""
-        return MESSAGE_OVERHEAD_BYTES + self.payload_bytes()
+        """Total on-the-wire size: the length of the actual binary encoding.
+
+        The envelope portion is computed arithmetically around the memoized
+        payload encoding, so charging a broadcast of N station messages that
+        share one artifact costs one payload encode total and never
+        materializes per-message envelope copies.  Falls back to the
+        estimate-based model (fixed envelope overhead plus per-field estimate)
+        only when the payload cannot be wire-encoded.
+        """
+        from repro import wire
+
+        try:
+            payload_size = len(self.payload_wire())
+        except wire.UnsupportedWireTypeError:
+            return self.estimated_size_bytes()
+        return wire.message_envelope_size(self.sender, self.recipient, payload_size)
+
+    def estimated_size_bytes(self) -> int:
+        """The legacy constant-per-field cost model (envelope + payload estimate).
+
+        Kept as a cross-checked baseline: the test suite asserts it stays
+        within a documented factor of the real encoding for protocol payloads.
+        """
+        return MESSAGE_OVERHEAD_BYTES + estimate_size_bytes(self.payload)
 
     def __repr__(self) -> str:
+        # repr must stay cheap: show the real size when the payload encoding
+        # is already cached, otherwise the estimate — never encode a large
+        # artifact as a printing side effect.
+        if getattr(self, "_payload_wire_cache", None) is not None:
+            size = self.size_bytes()
+        else:
+            try:
+                size = self.estimated_size_bytes()
+            except TypeError:
+                size = -1  # payload outside even the estimate model's shapes
         return (
             f"Message({self.sender!r} -> {self.recipient!r}, kind={self.kind.value}, "
-            f"bytes={self.size_bytes()})"
+            f"bytes={size})"
         )

@@ -27,6 +27,10 @@ class CostReport:
     aggregate_time_s: float = 0.0
     transmission_time_s: float = 0.0
     report_count: int = 0
+    #: Station-execution backend the run used ("serial", "thread", "process").
+    executor: str = "serial"
+    #: Number of station shards the matching phase was partitioned into.
+    shard_count: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property

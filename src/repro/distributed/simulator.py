@@ -5,31 +5,41 @@ three phases of Figure 2 over a :class:`~repro.datagen.workload.DistributedDatas
 
 1. the data center encodes the query batch and broadcasts the artifact to every
    base station that stores at least one pattern (downlink traffic);
-2. every station runs its matching phase — stations are modelled as running in
-   parallel (the paper uses one thread per station), so the phase's wall time is the
-   maximum over stations;
+2. every station runs its matching phase — stations are partitioned into shards
+   executed through a pluggable backend (:mod:`repro.distributed.executor`):
+   in-process serial (default, one shard per station as in the paper's
+   one-thread-per-station model), thread pool, or process pool.  The phase's
+   simulated wall time is the maximum over shards;
 3. stations upload their reports (uplink traffic, serialized at the center's
    ingress) and the data center aggregates them into the ranked top-K.
 
-The outcome bundles the ranked results with a :class:`~repro.distributed.metrics.CostReport`
-containing exactly the quantities Figure 4 plots.
+All byte counts are *real*: messages and artifacts are encoded through the
+binary wire codec (:mod:`repro.wire`) and charged at their actual encoded
+length; the estimate model only backs up payloads outside the codec's
+vocabulary.  The outcome bundles the ranked results with a
+:class:`~repro.distributed.metrics.CostReport` containing exactly the
+quantities Figure 4 plots.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro import wire
 from repro.core.protocol import MatchingProtocol, RankedResults
-from repro.datagen.workload import DistributedDataset
 from repro.distributed.basestation import BaseStationNode
 from repro.distributed.datacenter import DataCenterNode
+from repro.distributed.executor import ShardedStationRunner, merge_shard_outcomes
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig, SimulatedNetwork
-from repro.utils.serialization import estimate_size_bytes
 from repro.timeseries.query import QueryPattern
+from repro.utils.serialization import estimate_size_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.datagen.workload import DistributedDataset
 
 
 @dataclass(frozen=True)
@@ -46,16 +56,41 @@ class SimulationOutcome:
         return self.results.user_ids()
 
 
+def _artifact_size_bytes(artifact: object | None) -> int:
+    """Actual encoded size of a distributed artifact (estimate as fallback)."""
+    if artifact is None:
+        return 0
+    try:
+        return wire.encoded_size(artifact)
+    except wire.UnsupportedWireTypeError:
+        return estimate_size_bytes(artifact)
+
+
 class DistributedSimulation:
-    """Drives matching protocols over a distributed dataset with cost accounting."""
+    """Drives matching protocols over a distributed dataset with cost accounting.
+
+    ``executor`` / ``shard_count`` / ``max_workers`` select how the station
+    phase runs (see :mod:`repro.distributed.executor`).  When ``executor`` is
+    ``None`` the simulation defers to the protocol's configuration
+    (``DIMatchingConfig.executor``) and falls back to ``"serial"`` for
+    protocols without one.  Executor choice never changes results or byte
+    counts — only measured wall-clock.
+    """
 
     def __init__(
         self,
-        dataset: DistributedDataset,
+        dataset: "DistributedDataset",
         network_config: NetworkConfig | None = None,
+        executor: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
     ) -> None:
         self._dataset = dataset
         self._network_config = network_config or NetworkConfig()
+        self._executor = executor
+        self._shard_count = shard_count
+        self._max_workers = max_workers
+        self._runners: dict[tuple[str, int], ShardedStationRunner] = {}
         self._center = DataCenterNode()
         self._stations: list[BaseStationNode] = []
         for station_id in dataset.station_ids:
@@ -65,7 +100,7 @@ class DistributedSimulation:
             self._stations.append(BaseStationNode(station_id, patterns))
 
     @property
-    def dataset(self) -> DistributedDataset:
+    def dataset(self) -> "DistributedDataset":
         """The dataset the simulation runs over."""
         return self._dataset
 
@@ -78,6 +113,41 @@ class DistributedSimulation:
     def center(self) -> DataCenterNode:
         """The data-center node."""
         return self._center
+
+    def _runner_for(self, protocol: MatchingProtocol) -> ShardedStationRunner:
+        """Resolve the station runner from explicit args, protocol config, defaults.
+
+        Runners (and therefore their worker pools) are memoized per effective
+        ``(executor, shard_count)``, so a sweep of many rounds through one
+        simulation reuses one pool instead of re-spawning workers per round.
+        """
+        config = getattr(protocol, "config", None)
+        executor = self._executor or getattr(config, "executor", "serial")
+        shard_count = (
+            self._shard_count
+            if self._shard_count is not None
+            else getattr(config, "shard_count", 0)
+        )
+        key = (executor, shard_count)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = ShardedStationRunner(
+                executor=executor, shard_count=shard_count, max_workers=self._max_workers
+            )
+            self._runners[key] = runner
+        return runner
+
+    def close(self) -> None:
+        """Shut down any worker pools the simulation spun up."""
+        for runner in self._runners.values():
+            runner.close()
+        self._runners.clear()
+
+    def __enter__(self) -> "DistributedSimulation":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
 
     def run(
         self,
@@ -93,36 +163,34 @@ class DistributedSimulation:
         artifact = self._center.encode(protocol, queries)
         encode_time = time.perf_counter() - encode_start
 
-        if artifact is not None:
-            for station in self._stations:
-                message = Message(
-                    sender=self._center.node_id,
-                    recipient=station.node_id,
-                    kind=MessageKind.FILTER_DISSEMINATION,
-                    payload=artifact,
-                )
-                network.send_downlink(message)
-                station.receive(message)
-        else:
-            # The naive method sends only a tiny control trigger to each station.
-            for station in self._stations:
-                message = Message(
-                    sender=self._center.node_id,
-                    recipient=station.node_id,
-                    kind=MessageKind.CONTROL,
-                    payload=None,
-                )
-                network.send_downlink(message)
-                station.receive(message)
+        for station in self._stations:
+            message = Message(
+                sender=self._center.node_id,
+                recipient=station.node_id,
+                # The naive method distributes no artifact: stations receive
+                # only a tiny control trigger.
+                kind=(
+                    MessageKind.FILTER_DISSEMINATION
+                    if artifact is not None
+                    else MessageKind.CONTROL
+                ),
+                payload=artifact,
+            )
+            network.send_downlink(message)
+            station.receive(message)
 
-        # Phase 2: per-station matching (stations run in parallel; take the max).
-        station_times: list[float] = []
+        # Phase 2: sharded per-station matching; simulated wall time is the
+        # maximum over shards (shards run concurrently, a shard sequentially).
+        runner = self._runner_for(protocol)
+        shard_outcomes = runner.run(protocol, self._stations, artifact)
+        reports_by_station = merge_shard_outcomes(shard_outcomes)
+        shard_times = [outcome.elapsed_s for outcome in shard_outcomes]
+
+        # Uplink in deterministic station order, independent of shard layout.
         all_reports: list[object] = []
         uplink_payload_bytes = 0
         for station in self._stations:
-            station_start = time.perf_counter()
-            reports = station.run_matching(protocol, artifact)
-            station_times.append(time.perf_counter() - station_start)
+            reports = reports_by_station[station.node_id]
             message = Message(
                 sender=station.node_id,
                 recipient=self._center.node_id,
@@ -139,7 +207,7 @@ class DistributedSimulation:
         results = self._center.aggregate(protocol, all_reports, k)
         aggregate_time = time.perf_counter() - aggregate_start
 
-        artifact_bytes = estimate_size_bytes(artifact) if artifact is not None else 0
+        artifact_bytes = _artifact_size_bytes(artifact)
         costs = CostReport(
             method=protocol.name,
             downlink_bytes=network.downlink_bytes,
@@ -150,9 +218,11 @@ class DistributedSimulation:
             storage_center_bytes=artifact_bytes + uplink_payload_bytes,
             storage_station_bytes=artifact_bytes * len(self._stations),
             encode_time_s=encode_time,
-            station_time_s=max(station_times) if station_times else 0.0,
+            station_time_s=max(shard_times) if shard_times else 0.0,
             aggregate_time_s=aggregate_time,
             transmission_time_s=network.transmission_time_s(),
             report_count=len(all_reports),
+            executor=runner.executor,
+            shard_count=len(shard_outcomes),
         )
         return SimulationOutcome(method=protocol.name, results=results, costs=costs)

@@ -124,27 +124,34 @@ def run_comparison(
     methods: Sequence[str] = DEFAULT_METHODS,
     k: int | None = None,
     network_config: NetworkConfig | None = None,
+    executor: str | None = None,
+    shard_count: int | None = None,
 ) -> ComparisonResult:
     """Run every requested method on one query batch and score it against ground truth.
 
     When ``k`` is None the cutoff is set to the ground-truth size, i.e. every method
     is asked for exactly as many users as are truly relevant (precision@|truth|).
+    ``executor`` / ``shard_count`` select the station-execution backend for *all*
+    methods (results and byte counts are executor-invariant); when None, each
+    protocol's own configuration decides.
     """
     config = config or DIMatchingConfig(epsilon=int(workload.epsilon))
     queries = list(workload.queries)
     truth = ground_truth_users(dataset, queries, workload.epsilon)
     cutoff = k if k is not None else len(truth)
-    simulation = DistributedSimulation(dataset, network_config)
     outcomes: dict[str, MethodOutcome] = {}
-    for protocol in make_protocols(config, workload.epsilon, methods):
-        outcome = simulation.run(protocol, queries, cutoff)
-        retrieved = tuple(outcome.retrieved_user_ids)
-        outcomes[protocol.name] = MethodOutcome(
-            method=protocol.name,
-            metrics=evaluate_retrieval(retrieved, truth),
-            costs=outcome.costs,
-            retrieved=retrieved,
-        )
+    with DistributedSimulation(
+        dataset, network_config, executor=executor, shard_count=shard_count
+    ) as simulation:
+        for protocol in make_protocols(config, workload.epsilon, methods):
+            outcome = simulation.run(protocol, queries, cutoff)
+            retrieved = tuple(outcome.retrieved_user_ids)
+            outcomes[protocol.name] = MethodOutcome(
+                method=protocol.name,
+                metrics=evaluate_retrieval(retrieved, truth),
+                costs=outcome.costs,
+                retrieved=retrieved,
+            )
     return ComparisonResult(
         query_count=len(queries),
         combined_pattern_count=_combined_pattern_count(config, queries),
@@ -161,6 +168,8 @@ def sweep_query_counts(
     methods: Sequence[str] = DEFAULT_METHODS,
     seed: int = 11,
     network_config: NetworkConfig | None = None,
+    executor: str | None = None,
+    shard_count: int | None = None,
 ) -> list[ComparisonResult]:
     """Figure 4: run the method comparison for increasing numbers of query patterns."""
     require_non_empty(query_counts, "query_counts")
@@ -175,6 +184,8 @@ def sweep_query_counts(
                 config=config,
                 methods=methods,
                 network_config=network_config,
+                executor=executor,
+                shard_count=shard_count,
             )
         )
     return results

@@ -10,6 +10,7 @@ constant-per-field model preserves.
 
 from __future__ import annotations
 
+from enum import Enum
 from typing import Any, Iterable, Mapping
 
 #: Bytes charged for one integer field (e.g. a pattern value or a timestamp).
@@ -20,6 +21,12 @@ FLOAT_BYTES = 8
 ID_BYTES = 8
 #: Fixed per-message envelope overhead (headers, routing).
 MESSAGE_OVERHEAD_BYTES = 32
+
+#: Documented accuracy bound of the estimate model against the real codec: for
+#: protocol payloads (WBF dissemination batches, report lists), the estimate
+#: stays within this multiplicative factor of ``len(repro.wire.encode(x))`` in
+#: both directions.  Enforced by ``tests/unit/utils/test_serialization.py``.
+ESTIMATE_ACCURACY_FACTOR = 4.0
 
 
 def sizeof_int(count: int = 1) -> int:
@@ -48,6 +55,13 @@ def estimate_size_bytes(payload: Any) -> int:
         return 0
     if hasattr(payload, "size_bytes") and callable(payload.size_bytes):
         return int(payload.size_bytes())
+    # Enum members subclass their value type (str-enums are str, int-enums are
+    # int), so they must be unwrapped *before* the bool/int/str chain below —
+    # otherwise a kind field would be charged as the length of its string value
+    # on one code path and as a plain int on another.  Like bool-before-int,
+    # order matters here.
+    if isinstance(payload, Enum):
+        return estimate_size_bytes(payload.value)
     if isinstance(payload, bool):
         return 1
     if isinstance(payload, int):

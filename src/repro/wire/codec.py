@@ -1,0 +1,670 @@
+"""Versioned binary wire codec for every protocol artifact.
+
+Every encoding starts with a 7-byte header::
+
+    offset 0  magic   b"DIMW"   (4 bytes)
+    offset 4  version u8        (currently 1)
+    offset 5  flags   u8        (bit 0: body is zlib-compressed)
+    offset 6  type    u8        (artifact tag, see the TAG_* constants)
+
+followed by a type-specific body of varint/fixed-width fields (see
+:mod:`repro.wire.primitives`).  The format is canonical: a given artifact has
+exactly one encoding, independent of the bit backend it was built on and of
+dict/set iteration order (the WBF weight table is sorted by encoded value
+bytes, sparse positions ascend).  That property is what lets the test battery
+assert byte-identical output across the NumPy and bytearray backends, and what
+makes the golden fixtures stable.
+
+Runtime knobs never travel on the wire: ``DIMatchingConfig.bit_backend``,
+``executor`` and ``shard_count`` are local materialization/execution choices,
+so :func:`decode` accepts a ``backend`` argument and restores those fields to
+it (respectively their defaults).
+
+Decoding a malformed buffer — bad magic, unknown version or tag, truncation,
+out-of-range indices, corrupt zlib body, trailing bytes — always raises
+:class:`~repro.wire.errors.WireFormatError`.
+"""
+
+from __future__ import annotations
+
+import weakref
+import zlib
+from fractions import Fraction
+from typing import Callable
+
+from repro.bloom.backend import iter_set_bits_in_bytes
+from repro.bloom.standard import BloomFilter
+from repro.core.config import DIMatchingConfig
+from repro.core.encoder import EncodedQueryBatch
+from repro.core.exceptions import ConfigurationError
+from repro.core.protocol import MatchReport
+from repro.core.wbf import WeightedBloomFilter
+from repro.timeseries.pattern import LocalPattern, Pattern
+from repro.timeseries.query import QueryPattern
+from repro.wire.errors import UnsupportedWireTypeError, WireFormatError
+from repro.wire.primitives import (
+    ByteReader,
+    uvarint_size,
+    write_bool,
+    write_bytes,
+    write_fraction,
+    write_str,
+    write_svarint,
+    write_u8,
+    write_uvarint,
+)
+from repro.wire.values import encode_value, read_value, write_value
+
+#: Magic bytes opening every encoded artifact ("DI-Matching Wire").
+MAGIC = b"DIMW"
+#: Current wire-format version.  Bump on any incompatible layout change; the
+#: decoder rejects versions it does not know.
+WIRE_VERSION = 1
+
+#: Header flag: the body (everything after the 7-byte header) is zlib-compressed.
+FLAG_ZLIB = 0x01
+
+_KNOWN_FLAGS = FLAG_ZLIB
+
+TAG_NONE = 0x00
+TAG_BLOOM_FILTER = 0x01
+TAG_WBF = 0x02
+TAG_ENCODED_BATCH = 0x03
+TAG_MATCH_REPORT = 0x04
+TAG_PATTERN = 0x05
+TAG_LOCAL_PATTERN = 0x06
+TAG_QUERY_PATTERN = 0x07
+TAG_QUERY_BATCH = 0x08
+TAG_OBJECT_LIST = 0x09
+TAG_MESSAGE = 0x0A
+TAG_VALUE = 0x0B
+
+_HEADER_SIZE = 7
+
+_KIND_CODES: dict[str, int] = {}
+_KIND_NAMES: dict[int, str] = {}
+
+
+def _kind_tables() -> tuple[dict[str, int], dict[int, str]]:
+    """Message-kind wire codes, derived from ``MessageKind`` declaration order.
+
+    Deriving (instead of hand-maintaining a parallel table) means a new kind
+    can never be encodable-but-undecodable; the flip side is that kinds must
+    only ever be *appended* to the enum — reordering or removing one changes
+    existing codes and requires a ``WIRE_VERSION`` bump.  Populated lazily to
+    keep this module import-free of :mod:`repro.distributed`.
+    """
+    if not _KIND_CODES:
+        from repro.distributed.messages import MessageKind
+
+        for code, kind in enumerate(MessageKind):
+            _KIND_CODES[kind.value] = code
+            _KIND_NAMES[code] = kind.value
+    return _KIND_CODES, _KIND_NAMES
+
+
+# -- body encoders ---------------------------------------------------------------
+
+
+def _write_bloom_body(out: bytearray, bloom: BloomFilter) -> None:
+    write_uvarint(out, bloom.bit_count)
+    write_uvarint(out, bloom.hash_count)
+    write_svarint(out, bloom.hash_family.seed)
+    write_uvarint(out, bloom.item_count)
+    out += bloom.bits.to_bytes()
+
+
+def _check_bit_padding(bits: bytes, bit_count: int) -> None:
+    """Reject set bits in the final byte's padding beyond ``bit_count``.
+
+    The canonical encoding zeroes padding bits; accepting them would give two
+    distinct byte strings for one logical filter and corrupt the decoded
+    popcount (fill ratio, false-positive estimates, unions).
+    """
+    spare = bit_count & 7
+    if spare and bits and bits[-1] >> spare:
+        raise WireFormatError(
+            f"set padding bits beyond bit {bit_count} in the final bit-array byte"
+        )
+
+
+def _read_bloom_body(reader: ByteReader, backend: str) -> BloomFilter:
+    bit_count = reader.uvarint()
+    hash_count = reader.uvarint()
+    seed = reader.svarint()
+    item_count = reader.uvarint()
+    if bit_count == 0 or hash_count == 0:
+        raise WireFormatError("Bloom filter with zero bit or hash count")
+    bits = reader.raw((bit_count + 7) // 8)
+    _check_bit_padding(bits, bit_count)
+    return BloomFilter.from_state(bit_count, hash_count, seed, bits, item_count, backend=backend)
+
+
+def _write_wbf_body(out: bytearray, wbf: WeightedBloomFilter) -> None:
+    write_uvarint(out, wbf.bit_count)
+    write_uvarint(out, wbf.hash_count)
+    write_svarint(out, wbf.seed)
+    write_uvarint(out, wbf.item_count)
+    bits = wbf._bits.to_bytes()
+    out += bits
+    entries = wbf.weight_entries()
+    # Every set bit carries at least one weight by construction ("each bit with
+    # 1 has a pointer to the weight", Section II-B), so positions are never
+    # written: the weight lists ride along the set bits of the bit array, in
+    # ascending bit order.  Distinct weights are stored once in a table sorted
+    # by their canonical encoding; each set bit references table indices.  Both
+    # orders make the bytes independent of insertion order and backend.
+    if [position for position, _ in entries] != list(
+        iter_set_bits_in_bytes(bits, wbf.bit_count)
+    ):
+        raise ValueError(
+            "WBF weight map is inconsistent with its bit array "
+            "(a set bit without weights, or weights on a clear bit); "
+            "cannot encode canonically"
+        )
+    encoded_by_weight = {
+        weight: encode_value(weight) for _, weights in entries for weight in weights
+    }
+    encoded_weights = sorted(set(encoded_by_weight.values()))
+    table_index = {data: index for index, data in enumerate(encoded_weights)}
+    write_uvarint(out, len(encoded_weights))
+    for data in encoded_weights:
+        out += data
+    for _position, weights in entries:
+        indices = sorted(table_index[encoded_by_weight[weight]] for weight in weights)
+        write_uvarint(out, len(indices))
+        for index in indices:
+            write_uvarint(out, index)
+
+
+def _read_wbf_body(reader: ByteReader, backend: str) -> WeightedBloomFilter:
+    bit_count = reader.uvarint()
+    hash_count = reader.uvarint()
+    seed = reader.svarint()
+    item_count = reader.uvarint()
+    if bit_count == 0 or hash_count == 0:
+        raise WireFormatError("WBF with zero bit or hash count")
+    bits = reader.raw((bit_count + 7) // 8)
+    _check_bit_padding(bits, bit_count)
+    table_count = reader.uvarint()
+    table = [read_value(reader) for _ in range(table_count)]
+    weights: dict[int, frozenset] = {}
+    for position in iter_set_bits_in_bytes(bits, bit_count):
+        count = reader.uvarint()
+        if count == 0:
+            raise WireFormatError(f"WBF weight entry at bit {position} is empty")
+        indices = [reader.uvarint() for _ in range(count)]
+        if any(index >= table_count for index in indices):
+            raise WireFormatError(f"WBF weight table index out of range at bit {position}")
+        if sorted(set(indices)) != indices:
+            raise WireFormatError(f"WBF weight indices not canonical at bit {position}")
+        weights[position] = frozenset(table[index] for index in indices)
+    return WeightedBloomFilter.from_state(
+        bit_count, hash_count, seed, bits, weights, item_count, backend=backend
+    )
+
+
+#: ``DIMatchingConfig`` fields serialized on the wire, in order.  The runtime
+#: knobs (``bit_backend``, ``executor``, ``shard_count``) are deliberately
+#: absent: they describe how a node runs locally, not what the filter means.
+_CONFIG_WIRE_FIELDS = (
+    "sample_count",
+    "hash_count",
+    "epsilon",
+    "bit_count",
+    "auto_size",
+    "bits_per_element",
+    "min_bit_count",
+    "seed",
+    "include_sample_index",
+    "use_accumulation",
+    "expand_epsilon",
+    "epsilon_tolerance_mode",
+    "deduplicate_combinations",
+    "max_local_patterns",
+)
+
+
+def _write_config_block(out: bytearray, config: DIMatchingConfig) -> None:
+    for name in _CONFIG_WIRE_FIELDS:
+        write_value(out, getattr(config, name))
+
+
+def _read_config_block(reader: ByteReader, backend: str) -> DIMatchingConfig:
+    fields = {name: read_value(reader) for name in _CONFIG_WIRE_FIELDS}
+    try:
+        return DIMatchingConfig(bit_backend=backend, **fields)
+    except (ConfigurationError, TypeError) as error:
+        raise WireFormatError(f"decoded configuration is invalid: {error}") from error
+
+
+def _write_batch_body(out: bytearray, batch: EncodedQueryBatch) -> None:
+    _write_config_block(out, batch.config)
+    write_uvarint(out, batch.pattern_length)
+    write_uvarint(out, batch.query_count)
+    write_uvarint(out, batch.combined_pattern_count)
+    write_uvarint(out, batch.inserted_item_count)
+    _write_wbf_body(out, batch.wbf)
+
+
+def _read_batch_body(reader: ByteReader, backend: str) -> EncodedQueryBatch:
+    config = _read_config_block(reader, backend)
+    pattern_length = reader.uvarint()
+    query_count = reader.uvarint()
+    combined_pattern_count = reader.uvarint()
+    inserted_item_count = reader.uvarint()
+    wbf = _read_wbf_body(reader, backend)
+    return EncodedQueryBatch(
+        wbf=wbf,
+        config=config,
+        pattern_length=pattern_length,
+        query_count=query_count,
+        combined_pattern_count=combined_pattern_count,
+        inserted_item_count=inserted_item_count,
+    )
+
+
+def _write_optional_weight(out: bytearray, weight: Fraction | None) -> None:
+    """Presence flag plus fraction — shared by both report layouts."""
+    write_bool(out, weight is not None)
+    if weight is not None:
+        try:
+            write_fraction(out, weight)
+        except ValueError as error:
+            raise UnsupportedWireTypeError(
+                f"match-report weight outside the wire's 64-bit numeric range: {error}"
+            ) from error
+
+
+def _read_optional_weight(reader: ByteReader) -> Fraction | None:
+    return reader.fraction() if reader.bool_() else None
+
+
+def _write_report_body(out: bytearray, report: MatchReport) -> None:
+    write_str(out, report.user_id)
+    write_str(out, report.station_id)
+    write_str(out, report.query_id)
+    _write_optional_weight(out, report.weight)
+
+
+def _read_report_body(reader: ByteReader, backend: str) -> MatchReport:
+    user_id = reader.str_()
+    station_id = reader.str_()
+    query_id = reader.str_()
+    weight = _read_optional_weight(reader)
+    return MatchReport(user_id=user_id, station_id=station_id, weight=weight, query_id=query_id)
+
+
+def _write_values_seq(out: bytearray, values: tuple[int, ...]) -> None:
+    write_uvarint(out, len(values))
+    try:
+        for value in values:
+            write_svarint(out, value)
+    except ValueError as error:
+        raise UnsupportedWireTypeError(
+            f"pattern value outside the wire's 64-bit numeric range: {error}"
+        ) from error
+
+
+def _read_values_seq(reader: ByteReader) -> list[int]:
+    count = reader.uvarint()
+    if count == 0:
+        raise WireFormatError("pattern with zero intervals")
+    return [reader.svarint() for _ in range(count)]
+
+
+def _write_pattern_body(out: bytearray, pattern: Pattern) -> None:
+    write_str(out, pattern.user_id)
+    _write_values_seq(out, pattern.values)
+
+
+def _read_pattern_body(reader: ByteReader, backend: str) -> Pattern:
+    user_id = reader.str_()
+    return Pattern(user_id, _read_values_seq(reader))
+
+
+def _write_local_pattern_body(out: bytearray, pattern: LocalPattern) -> None:
+    write_str(out, pattern.user_id)
+    write_str(out, pattern.station_id)
+    _write_values_seq(out, pattern.values)
+
+
+def _read_local_pattern_body(reader: ByteReader, backend: str) -> LocalPattern:
+    user_id = reader.str_()
+    station_id = reader.str_()
+    return LocalPattern(user_id, _read_values_seq(reader), station_id=station_id)
+
+
+def _write_query_body(out: bytearray, query: QueryPattern) -> None:
+    write_str(out, query.query_id)
+    write_uvarint(out, len(query.local_patterns))
+    for local in query.local_patterns:
+        _write_local_pattern_body(out, local)
+
+
+def _read_query_body(reader: ByteReader, backend: str) -> QueryPattern:
+    query_id = reader.str_()
+    count = reader.uvarint()
+    if count == 0:
+        raise WireFormatError(f"query {query_id!r} has no local patterns")
+    locals_ = [_read_local_pattern_body(reader, backend) for _ in range(count)]
+    try:
+        return QueryPattern(query_id, locals_)
+    except (ValueError, TypeError) as error:
+        # Constructor validation (mixed user ids, mismatched fragment lengths)
+        # means the buffer is corrupt — keep the typed-error contract.
+        raise WireFormatError(f"decoded query {query_id!r} is invalid: {error}") from error
+
+
+def _write_query_batch_body(out: bytearray, queries: tuple) -> None:
+    write_uvarint(out, len(queries))
+    for query in queries:
+        _write_query_body(out, query)
+
+
+def _read_query_batch_body(reader: ByteReader, backend: str) -> tuple:
+    count = reader.uvarint()
+    return tuple(_read_query_body(reader, backend) for _ in range(count))
+
+
+#: Object-list layouts: generic tagged items, or the string-interned columnar
+#: form used for match-report uploads (where a handful of user/station/query
+#: identifiers repeat across thousands of reports and would otherwise dominate
+#: the uplink).
+_LIST_GENERIC = 0
+_LIST_REPORT_COLUMNAR = 1
+
+
+def _write_object_list_body(out: bytearray, items: list) -> None:
+    if items and all(isinstance(item, MatchReport) for item in items):
+        _write_report_columnar(out, items)
+        return
+    write_u8(out, _LIST_GENERIC)
+    write_uvarint(out, len(items))
+    for item in items:
+        tag, writer = _dispatch(item)
+        write_u8(out, tag)
+        writer(out, item)
+
+
+def _write_report_columnar(out: bytearray, reports: list) -> None:
+    write_u8(out, _LIST_REPORT_COLUMNAR)
+    write_uvarint(out, len(reports))
+    table = sorted(
+        {r.user_id for r in reports}
+        | {r.station_id for r in reports}
+        | {r.query_id for r in reports}
+    )
+    index = {value: position for position, value in enumerate(table)}
+    write_uvarint(out, len(table))
+    for value in table:
+        write_str(out, value)
+    for report in reports:
+        write_uvarint(out, index[report.user_id])
+        write_uvarint(out, index[report.station_id])
+        write_uvarint(out, index[report.query_id])
+        _write_optional_weight(out, report.weight)
+
+
+def _read_object_list_body(reader: ByteReader, backend: str) -> list:
+    layout = reader.u8()
+    if layout == _LIST_REPORT_COLUMNAR:
+        return _read_report_columnar(reader)
+    if layout != _LIST_GENERIC:
+        raise WireFormatError(f"unknown object-list layout {layout}")
+    count = reader.uvarint()
+    items = []
+    for _ in range(count):
+        tag = reader.u8()
+        items.append(_read_body(tag, reader, backend))
+    return items
+
+
+def _read_report_columnar(reader: ByteReader) -> list:
+    count = reader.uvarint()
+    table_count = reader.uvarint()
+    table = [reader.str_() for _ in range(table_count)]
+    reports = []
+    for _ in range(count):
+        indices = (reader.uvarint(), reader.uvarint(), reader.uvarint())
+        if any(position >= table_count for position in indices):
+            raise WireFormatError("report string-table index out of range")
+        weight = _read_optional_weight(reader)
+        reports.append(
+            MatchReport(
+                user_id=table[indices[0]],
+                station_id=table[indices[1]],
+                weight=weight,
+                query_id=table[indices[2]],
+            )
+        )
+    return reports
+
+
+def _write_message_body(out: bytearray, message: object) -> None:
+    from repro.distributed.messages import Message
+
+    if not isinstance(message, Message):  # pragma: no cover - guarded by dispatch
+        raise UnsupportedWireTypeError(f"expected Message, got {type(message).__name__}")
+    kind_codes, _ = _kind_tables()
+    write_str(out, message.sender)
+    write_str(out, message.recipient)
+    write_u8(out, kind_codes[message.kind.value])
+    # The message memoizes its payload encoding, so cost accounting and
+    # envelope construction within one round share a single payload encode.
+    write_bytes(out, message.payload_wire())
+
+
+def _read_message_body(reader: ByteReader, backend: str):
+    from repro.distributed.messages import Message, MessageKind
+
+    sender = reader.str_()
+    recipient = reader.str_()
+    kind_code = reader.u8()
+    _, kind_names = _kind_tables()
+    if kind_code not in kind_names:
+        raise WireFormatError(f"unknown message kind code {kind_code}")
+    payload_block = reader.bytes_()
+    payload = decode(payload_block, backend=backend)
+    return Message(
+        sender=sender,
+        recipient=recipient,
+        kind=MessageKind(kind_names[kind_code]),
+        payload=payload,
+    )
+
+
+def _write_value_body(out: bytearray, value: object) -> None:
+    write_value(out, value)
+
+
+def _read_value_body(reader: ByteReader, backend: str) -> object:
+    return read_value(reader)
+
+
+_READERS: dict[int, Callable[[ByteReader, str], object]] = {
+    TAG_BLOOM_FILTER: _read_bloom_body,
+    TAG_WBF: _read_wbf_body,
+    TAG_ENCODED_BATCH: _read_batch_body,
+    TAG_MATCH_REPORT: _read_report_body,
+    TAG_PATTERN: _read_pattern_body,
+    TAG_LOCAL_PATTERN: _read_local_pattern_body,
+    TAG_QUERY_PATTERN: _read_query_body,
+    TAG_QUERY_BATCH: _read_query_batch_body,
+    TAG_OBJECT_LIST: _read_object_list_body,
+    TAG_MESSAGE: _read_message_body,
+    TAG_VALUE: _read_value_body,
+}
+
+
+def _dispatch(obj: object) -> tuple[int, Callable[[bytearray, object], None]]:
+    """Map an object to its wire tag and body writer."""
+    if obj is None:
+        return TAG_NONE, lambda out, _obj: None
+    if isinstance(obj, WeightedBloomFilter):
+        return TAG_WBF, _write_wbf_body
+    if isinstance(obj, BloomFilter):
+        return TAG_BLOOM_FILTER, _write_bloom_body
+    if isinstance(obj, EncodedQueryBatch):
+        return TAG_ENCODED_BATCH, _write_batch_body
+    if isinstance(obj, MatchReport):
+        return TAG_MATCH_REPORT, _write_report_body
+    if isinstance(obj, LocalPattern):
+        return TAG_LOCAL_PATTERN, _write_local_pattern_body
+    if isinstance(obj, Pattern):
+        return TAG_PATTERN, _write_pattern_body
+    if isinstance(obj, QueryPattern):
+        return TAG_QUERY_PATTERN, _write_query_body
+    if isinstance(obj, tuple) and obj and all(isinstance(q, QueryPattern) for q in obj):
+        return TAG_QUERY_BATCH, _write_query_batch_body
+    if isinstance(obj, list):
+        return TAG_OBJECT_LIST, _write_object_list_body
+    type_name = type(obj).__name__
+    if type_name == "Message":  # lazy: avoid importing repro.distributed at module load
+        from repro.distributed.messages import Message
+
+        if isinstance(obj, Message):
+            return TAG_MESSAGE, _write_message_body
+    if isinstance(obj, (bool, int, float, str, bytes, bytearray, Fraction, tuple)):
+        return TAG_VALUE, _write_value_body
+    raise UnsupportedWireTypeError(f"no wire encoding for objects of type {type_name}")
+
+
+def _read_body(tag: int, reader: ByteReader, backend: str) -> object:
+    if tag == TAG_NONE:
+        return None
+    read = _READERS.get(tag)
+    if read is None:
+        raise WireFormatError(f"unknown wire type tag 0x{tag:02x}")
+    return read(reader, backend)
+
+
+# -- public API ------------------------------------------------------------------
+
+
+def encode(obj: object, *, compress: bool = False) -> bytes:
+    """Encode a protocol artifact into its canonical wire bytes.
+
+    ``compress=True`` sets the zlib flag and deflates the body (the header
+    stays uncompressed so the type remains readable without inflating).
+    Raises :class:`UnsupportedWireTypeError` for objects outside the protocol
+    vocabulary.
+    """
+    tag, writer = _dispatch(obj)
+    body = bytearray()
+    writer(body, obj)
+    flags = 0
+    payload = bytes(body)
+    if compress:
+        flags |= FLAG_ZLIB
+        payload = zlib.compress(payload, level=6)
+    return MAGIC + bytes((WIRE_VERSION, flags, tag)) + payload
+
+
+def decode(data: bytes, *, backend: str = "auto") -> object:
+    """Decode wire bytes back into the artifact they describe.
+
+    ``backend`` selects the local bit-storage backend decoded filters are
+    materialized on (and is restored into ``DIMatchingConfig.bit_backend``);
+    it never affects which bytes are accepted.
+    """
+    if len(data) < _HEADER_SIZE:
+        raise WireFormatError(
+            f"buffer of {len(data)} bytes is shorter than the {_HEADER_SIZE}-byte header"
+        )
+    if data[:4] != MAGIC:
+        raise WireFormatError(f"bad magic {bytes(data[:4])!r}, expected {MAGIC!r}")
+    version = data[4]
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version} (this build reads {WIRE_VERSION})")
+    flags = data[5]
+    if flags & ~_KNOWN_FLAGS:
+        raise WireFormatError(f"unknown header flags 0x{flags:02x}")
+    tag = data[6]
+    body = bytes(data[_HEADER_SIZE:])
+    if flags & FLAG_ZLIB:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as error:
+            raise WireFormatError(f"corrupt compressed body: {error}") from error
+    reader = ByteReader(body)
+    obj = _read_body(tag, reader, backend)
+    reader.expect_eof()
+    return obj
+
+
+#: id -> (weakref, revision, encoded bytes).  Keyed by identity so unhashable
+#: artifacts (filters define ``__eq__`` without ``__hash__``) can still be
+#: cached; the weakref callback evicts entries when the artifact is
+#: garbage-collected, and the revision guards against post-encode mutation.
+_ENCODE_CACHE: dict[int, tuple[weakref.ref, object, bytes]] = {}
+
+_NONE_ENCODING = MAGIC + bytes((WIRE_VERSION, 0, TAG_NONE))
+
+
+def object_revision(obj: object) -> object:
+    """Mutation revision of an artifact, or None when it has no counter.
+
+    Filters expose a ``revision`` bumped on every insertion; an
+    :class:`EncodedQueryBatch` inherits its WBF's.  Used to invalidate cached
+    encodings of mutable artifacts — an object without a counter is cached on
+    identity alone (immutable protocol objects).
+    """
+    revision = getattr(obj, "revision", None)
+    if revision is None and isinstance(obj, EncodedQueryBatch):
+        revision = obj.wbf.revision
+    return revision
+
+
+def encode_cached(obj: object) -> bytes:
+    """Encode with per-object memoization (uncompressed encodings only).
+
+    The broadcast phase encodes the *same* artifact object once per station;
+    this cache makes every send after the first O(1).  Cached entries are
+    invalidated when a filter's mutation :func:`object_revision` changes, so
+    encode → mutate → encode never serves stale bytes.  Objects that cannot
+    hold weak references (tuples, lists) are encoded afresh each call.
+    """
+    if obj is None:
+        return _NONE_ENCODING
+    key = id(obj)
+    entry = _ENCODE_CACHE.get(key)
+    if entry is not None:
+        ref, revision, data = entry
+        if ref() is obj and revision == object_revision(obj):
+            return data
+    data = encode(obj)
+    try:
+        ref = weakref.ref(obj, lambda _ref, _key=key: _ENCODE_CACHE.pop(_key, None))
+    except TypeError:
+        return data
+    _ENCODE_CACHE[key] = (ref, object_revision(obj), data)
+    return data
+
+
+def encoded_size(obj: object) -> int:
+    """Actual wire size of ``obj`` in bytes (memoized via :func:`encode_cached`)."""
+    return len(encode_cached(obj))
+
+
+def message_envelope_size(sender: str, recipient: str, payload_size: int) -> int:
+    """Exact encoded size of a message envelope around a ``payload_size`` payload.
+
+    Computed arithmetically so cost accounting for a broadcast of N station
+    messages sharing one artifact never materializes N copies of the envelope
+    bytes — the simulator charges ``header + routing fields + payload block``
+    without building it.  Kept in lockstep with :func:`_write_message_body` by
+    a unit test asserting equality with ``len(encode(message))``.
+    """
+    sender_bytes = sender.encode("utf-8")
+    recipient_bytes = recipient.encode("utf-8")
+    return (
+        _HEADER_SIZE
+        + uvarint_size(len(sender_bytes))
+        + len(sender_bytes)
+        + uvarint_size(len(recipient_bytes))
+        + len(recipient_bytes)
+        + 1  # kind code
+        + uvarint_size(payload_size)
+        + payload_size
+    )

@@ -74,11 +74,13 @@ class TestMethodComparisonEndToEnd:
         The advantage is a scale phenomenon (the filter is a fixed-size summary while
         the raw upload grows with users × intervals), so this check uses a dataset
         large enough for the raw data to dominate, as in the paper's city-scale
-        setting.
+        setting.  Since the wire codec landed these are *real* encoded byte counts
+        — varint packing shrinks the naive upload too, so the crossover sits at a
+        larger user count than under the old estimate model.
         """
         dataset = build_dataset(
             DatasetSpec(
-                users_per_category=30,
+                users_per_category=180,
                 station_count=6,
                 days=2,
                 noise_level=0,
@@ -99,6 +101,65 @@ class TestMethodComparisonEndToEnd:
             result.outcome("local").metrics.recall
             < result.outcome("naive").metrics.recall
         )
+
+
+class TestExecutorParity:
+    """serial / thread / process executors are interchangeable for results.
+
+    Shard layout and executor choice may only change wall-clock: ranked
+    results, report counts and every real byte count must be identical on the
+    same seeded dataset.
+    """
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pool_executors_match_serial_exactly(
+        self, small_dataset, small_workload, exact_config, executor
+    ):
+        outcomes = {}
+        for name in ("serial", executor):
+            result = run_comparison(
+                small_dataset,
+                small_workload,
+                exact_config,
+                methods=("naive", "bf", "wbf"),
+                executor=name,
+            )
+            outcomes[name] = result
+        for method in ("naive", "bf", "wbf"):
+            serial = outcomes["serial"].outcome(method)
+            pooled = outcomes[executor].outcome(method)
+            assert pooled.retrieved == serial.retrieved
+            assert pooled.costs.downlink_bytes == serial.costs.downlink_bytes
+            assert pooled.costs.uplink_bytes == serial.costs.uplink_bytes
+            assert pooled.costs.message_count == serial.costs.message_count
+            assert pooled.costs.report_count == serial.costs.report_count
+            assert pooled.costs.executor == executor
+
+    def test_shard_count_does_not_change_results(self, small_dataset, small_workload, exact_config):
+        reference = None
+        for shard_count in (1, 2, 7):
+            result = run_comparison(
+                small_dataset,
+                small_workload,
+                exact_config,
+                methods=("wbf",),
+                executor="serial",
+                shard_count=shard_count,
+            )
+            outcome = result.outcome("wbf")
+            snapshot = (outcome.retrieved, outcome.costs.communication_bytes)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference
+
+    def test_executor_from_protocol_config(self, small_dataset, small_workload):
+        config = DIMatchingConfig(epsilon=0, executor="thread", shard_count=2)
+        simulated = DistributedSimulation(small_dataset).run(
+            DIMatchingProtocol(config), list(small_workload.queries), k=None
+        )
+        assert simulated.costs.executor == "thread"
+        assert simulated.costs.shard_count == 2
 
 
 class TestScalesAndSeeds:

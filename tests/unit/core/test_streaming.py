@@ -109,6 +109,46 @@ class TestUpdates:
         assert len(session.current_results(k=2)) == 2
 
 
+class TestWireDeltas:
+    def test_updates_mark_stations_dirty_in_order(self, session):
+        session.update_station("bs-2", PatternSet([LocalPattern("bob", [0, 3, 0, 4], "bs-2")]))
+        session.update_station("bs-1", PatternSet([LocalPattern("bob", [1, 0, 2, 0], "bs-1")]))
+        assert session.dirty_station_ids == ("bs-2", "bs-1")
+
+    def test_collect_deltas_returns_decodable_payloads_and_clears_dirty(self, session):
+        from repro import wire
+
+        session.update_station("bs-1", PatternSet([LocalPattern("alice", [1, 0, 2, 0], "bs-1")]))
+        deltas = session.collect_deltas()
+        assert set(deltas) == {"bs-1"}
+        decoded = wire.decode(deltas["bs-1"])
+        assert [r.user_id for r in decoded] == ["alice"]
+        assert session.dirty_station_ids == ()
+        assert session.delta_bytes_shipped == len(deltas["bs-1"])
+
+    def test_only_changed_stations_are_reencoded(self, session):
+        session.update_station("bs-1", PatternSet([LocalPattern("alice", [1, 0, 2, 0], "bs-1")]))
+        session.update_station("bs-2", PatternSet([LocalPattern("alice", [0, 3, 0, 4], "bs-2")]))
+        session.collect_deltas()
+        runs_after_first = session.encoding_runs
+        assert runs_after_first == 2
+        # One station changes: exactly one re-encode, one delta entry.
+        session.update_station("bs-1", PatternSet([LocalPattern("carol", [9, 9, 9, 9], "bs-1")]))
+        deltas = session.collect_deltas()
+        assert set(deltas) == {"bs-1"}
+        assert session.encoding_runs == runs_after_first + 1
+
+    def test_no_updates_means_empty_delta(self, session):
+        session.update_station("bs-1", PatternSet([LocalPattern("alice", [1, 0, 2, 0], "bs-1")]))
+        session.collect_deltas()
+        assert session.collect_deltas() == {}
+
+    def test_removed_station_is_not_shipped(self, session):
+        session.update_station("bs-1", PatternSet([LocalPattern("alice", [1, 0, 2, 0], "bs-1")]))
+        session.remove_station("bs-1")
+        assert session.collect_deltas() == {}
+
+
 class TestWithOtherProtocols:
     def test_works_with_plain_bf_protocol(self):
         session = ContinuousMatchingSession(

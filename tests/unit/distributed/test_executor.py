@@ -1,0 +1,114 @@
+"""Unit tests for the sharded station executor."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import DIMatchingConfig
+from repro.core.dimatching import DIMatchingProtocol
+from repro.distributed.executor import (
+    ShardedStationRunner,
+    merge_shard_outcomes,
+    partition_round_robin,
+)
+
+
+class TestPartitioning:
+    def test_round_robin_covers_every_index_once(self):
+        shards = partition_round_robin(10, 3)
+        flat = sorted(index for shard in shards for index in shard)
+        assert flat == list(range(10))
+
+    def test_round_robin_balances_sizes(self):
+        shards = partition_round_robin(10, 3)
+        sizes = sorted(len(shard) for shard in shards)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_items_drops_empty_shards(self):
+        shards = partition_round_robin(2, 5)
+        assert len(shards) == 2
+        assert all(shard for shard in shards)
+
+    def test_order_preserved_within_shard(self):
+        for shard in partition_round_robin(12, 4):
+            assert shard == sorted(shard)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_round_robin(3, 0)
+
+
+class TestRunnerConfiguration:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            ShardedStationRunner(executor="gpu")
+
+    def test_rejects_negative_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedStationRunner(shard_count=-1)
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            ShardedStationRunner(max_workers=0)
+
+    def test_serial_auto_shards_one_per_station(self):
+        runner = ShardedStationRunner(executor="serial")
+        assert runner.resolve_shard_count(7) == 7
+
+    def test_pool_auto_shards_one_per_worker(self):
+        runner = ShardedStationRunner(executor="thread", max_workers=3)
+        assert runner.resolve_shard_count(10) == 3
+        assert runner.resolve_shard_count(2) == 2
+
+    def test_explicit_shard_count_capped_by_stations(self):
+        runner = ShardedStationRunner(executor="serial", shard_count=16)
+        assert runner.resolve_shard_count(5) == 5
+
+    def test_zero_stations_zero_shards(self):
+        assert ShardedStationRunner().resolve_shard_count(0) == 0
+
+
+class TestRunnerExecution:
+    def _simulation(self, small_dataset):
+        from repro.distributed.simulator import DistributedSimulation
+
+        return DistributedSimulation(small_dataset)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_outcomes_cover_every_station(self, small_dataset, exact_config, executor, small_workload):
+        simulation = self._simulation(small_dataset)
+        protocol = DIMatchingProtocol(exact_config)
+        artifact = protocol.encode(list(small_workload.queries))
+        runner = ShardedStationRunner(executor=executor, max_workers=2)
+        outcomes = runner.run(protocol, simulation.stations, artifact)
+        merged = merge_shard_outcomes(outcomes)
+        assert sorted(merged) == sorted(s.node_id for s in simulation.stations)
+        assert all(outcome.elapsed_s >= 0 for outcome in outcomes)
+
+    def test_empty_station_list(self, exact_config):
+        runner = ShardedStationRunner()
+        assert runner.run(DIMatchingProtocol(exact_config), [], None) == []
+
+
+class TestProcessExecutorPicklability:
+    def test_protocol_round_trips_without_matcher_cache(self, small_dataset, small_workload, exact_config):
+        protocol = DIMatchingProtocol(exact_config)
+        artifact = protocol.encode(list(small_workload.queries))
+        # Warm the matcher cache, then pickle: the cache must not travel.
+        station = None
+        from repro.distributed.simulator import DistributedSimulation
+
+        simulation = DistributedSimulation(small_dataset)
+        station = simulation.stations[0]
+        before = station.run_matching(protocol, artifact)
+        clone = pickle.loads(pickle.dumps(protocol))
+        assert clone._matchers._matchers == {}
+        after = clone.station_match(station.node_id, station.patterns, artifact)
+        assert after == before
+
+    def test_config_executor_validation(self):
+        with pytest.raises(Exception):
+            DIMatchingConfig(executor="bogus")
+        with pytest.raises(Exception):
+            DIMatchingConfig(shard_count=-2)
+        assert DIMatchingConfig(executor="process", shard_count=3).shard_count == 3

@@ -1,20 +1,66 @@
 """Unit tests for the message layer."""
 
+import pytest
+
+from repro import wire
 from repro.distributed.messages import Message, MessageKind
 from repro.timeseries.pattern import LocalPattern
 from repro.utils.serialization import MESSAGE_OVERHEAD_BYTES
 
 
 class TestMessage:
-    def test_size_includes_overhead(self):
+    def test_size_is_real_encoded_length(self):
         message = Message("a", "b", MessageKind.CONTROL, payload=None)
-        assert message.size_bytes() == MESSAGE_OVERHEAD_BYTES
+        assert message.size_bytes() == len(wire.encode(message))
+        assert message.size_bytes() == len(message.to_wire())
+
+    def test_arithmetic_envelope_size_matches_encoding_exactly(self):
+        # size_bytes() computes the envelope arithmetically (no per-message
+        # envelope bytes materialized); it must stay in lockstep with the real
+        # encoder for every payload shape and multi-byte-varint field length.
+        payloads = [
+            None,
+            [LocalPattern("user-x", list(range(40)), "bs-long-name")],
+            [LocalPattern(f"u{i}", [i], "bs") for i in range(40)],
+        ]
+        for payload in payloads:
+            message = Message("sender-" + "s" * 130, "r", MessageKind.MATCH_REPORT, payload)
+            assert message.size_bytes() == len(wire.encode(message))
+
+    def test_estimated_size_keeps_legacy_overhead_model(self):
+        message = Message("a", "b", MessageKind.CONTROL, payload=None)
+        assert message.estimated_size_bytes() == MESSAGE_OVERHEAD_BYTES
+        pattern = LocalPattern("u", [1, 2, 3], "bs")
+        report = Message("bs", "center", MessageKind.MATCH_REPORT, payload=[pattern])
+        assert (
+            report.estimated_size_bytes()
+            == MESSAGE_OVERHEAD_BYTES + pattern.size_bytes()
+        )
 
     def test_payload_bytes_for_pattern_payload(self):
         pattern = LocalPattern("u", [1, 2, 3], "bs")
         message = Message("bs", "center", MessageKind.MATCH_REPORT, payload=[pattern])
-        assert message.payload_bytes() == pattern.size_bytes()
-        assert message.size_bytes() == pattern.size_bytes() + MESSAGE_OVERHEAD_BYTES
+        assert message.payload_bytes() == len(wire.encode([pattern]))
+        # The envelope adds routing fields on top of the payload block.
+        assert message.size_bytes() > message.payload_bytes()
+
+    def test_wire_round_trip(self):
+        pattern = LocalPattern("u", [1, 2, 3], "bs")
+        message = Message("bs", "center", MessageKind.MATCH_REPORT, payload=[pattern])
+        assert Message.from_wire(message.to_wire()) == message
+
+    def test_from_wire_rejects_non_message_buffers(self):
+        with pytest.raises(wire.WireFormatError):
+            Message.from_wire(wire.encode([LocalPattern("u", [1], "bs")]))
+
+    def test_unencodable_payload_falls_back_to_estimate(self):
+        class Opaque:
+            def size_bytes(self) -> int:
+                return 123
+
+        message = Message("a", "b", MessageKind.CONTROL, payload=Opaque())
+        assert message.payload_bytes() == 123
+        assert message.size_bytes() == MESSAGE_OVERHEAD_BYTES + 123
 
     def test_kinds_are_distinct(self):
         assert MessageKind.FILTER_DISSEMINATION != MessageKind.MATCH_REPORT

@@ -1,0 +1,138 @@
+"""Unit tests for the varint/fixed-width wire primitives."""
+
+import pytest
+
+from repro.wire.errors import WireFormatError
+from repro.wire.primitives import (
+    MAX_VARINT_BYTES,
+    ByteReader,
+    write_bool,
+    write_bytes,
+    write_f64,
+    write_str,
+    write_svarint,
+    write_u8,
+    write_uvarint,
+)
+
+
+def roundtrip_uvarint(value: int) -> int:
+    out = bytearray()
+    write_uvarint(out, value)
+    reader = ByteReader(bytes(out))
+    result = reader.uvarint()
+    reader.expect_eof()
+    return result
+
+
+def roundtrip_svarint(value: int) -> int:
+    out = bytearray()
+    write_svarint(out, value)
+    reader = ByteReader(bytes(out))
+    result = reader.svarint()
+    reader.expect_eof()
+    return result
+
+
+class TestVarints:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 129, 16383, 16384, 2**32, 2**64 - 1]
+    )
+    def test_uvarint_round_trip(self, value):
+        assert roundtrip_uvarint(value) == value
+
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 63, -64, 64, -65, 2**62, -(2**62), 2**63 - 1, -(2**63)]
+    )
+    def test_svarint_round_trip(self, value):
+        assert roundtrip_svarint(value) == value
+
+    def test_uvarint_width_is_minimal(self):
+        for value, width in [(0, 1), (127, 1), (128, 2), (16383, 2), (16384, 3)]:
+            out = bytearray()
+            write_uvarint(out, value)
+            assert len(out) == width
+
+    def test_uvarint_rejects_negative_and_oversized(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), 2**64)
+
+    def test_svarint_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            write_svarint(bytearray(), 2**63)
+        with pytest.raises(ValueError):
+            write_svarint(bytearray(), -(2**63) - 1)
+
+    def test_overlong_varint_rejected(self):
+        reader = ByteReader(b"\x80" * MAX_VARINT_BYTES + b"\x01")
+        with pytest.raises(WireFormatError):
+            reader.uvarint()
+
+    def test_truncated_varint_rejected(self):
+        reader = ByteReader(b"\x80\x80")
+        with pytest.raises(WireFormatError):
+            reader.uvarint()
+
+
+class TestFixedFields:
+    def test_f64_round_trip(self):
+        out = bytearray()
+        write_f64(out, 1.5)
+        write_f64(out, -0.25)
+        reader = ByteReader(bytes(out))
+        assert reader.f64() == 1.5
+        assert reader.f64() == -0.25
+
+    def test_str_and_bytes_round_trip(self):
+        out = bytearray()
+        write_str(out, "héllo")
+        write_bytes(out, b"\x00\xff")
+        reader = ByteReader(bytes(out))
+        assert reader.str_() == "héllo"
+        assert reader.bytes_() == b"\x00\xff"
+
+    def test_bool_round_trip_and_strictness(self):
+        out = bytearray()
+        write_bool(out, True)
+        write_bool(out, False)
+        reader = ByteReader(bytes(out))
+        assert reader.bool_() is True
+        assert reader.bool_() is False
+        with pytest.raises(WireFormatError):
+            ByteReader(b"\x02").bool_()
+
+    def test_u8_bounds(self):
+        with pytest.raises(ValueError):
+            write_u8(bytearray(), 256)
+        with pytest.raises(ValueError):
+            write_u8(bytearray(), -1)
+
+    def test_invalid_utf8_rejected(self):
+        out = bytearray()
+        write_bytes(out, b"\xff\xfe")
+        with pytest.raises(WireFormatError):
+            ByteReader(bytes(out)).str_()
+
+
+class TestByteReader:
+    def test_truncated_raw_read(self):
+        reader = ByteReader(b"abc")
+        with pytest.raises(WireFormatError):
+            reader.raw(4)
+
+    def test_trailing_bytes_detected(self):
+        reader = ByteReader(b"ab")
+        reader.raw(1)
+        with pytest.raises(WireFormatError):
+            reader.expect_eof()
+        reader.raw(1)
+        reader.expect_eof()
+
+    def test_remaining_and_offset_track_reads(self):
+        reader = ByteReader(b"abcd")
+        assert reader.remaining == 4
+        reader.raw(3)
+        assert reader.offset == 3
+        assert reader.remaining == 1
