@@ -6,10 +6,11 @@ precision stay (near) 1.0, the plain Bloom filter is clearly lower and does not
 improve as the number of patterns grows.
 """
 
-from conftest import write_report
+from conftest import write_json_result, write_report
 
 from repro.core.dimatching import DIMatchingProtocol
 from repro.distributed.simulator import DistributedSimulation
+from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
 
@@ -27,6 +28,7 @@ def test_figure_4a_precision(benchmark, figure4_dataset, figure4_largest_workloa
         figure4_sweep, "precision", "Figure 4(a): precision vs number of patterns"
     )
     write_report("fig4a_precision", report)
+    write_json_result("fig4a_precision", comparison_sweep_payload(figure4_sweep))
 
     series = comparison_series(figure4_sweep, "precision")
     # Naive is the exact oracle.

@@ -6,10 +6,11 @@ WBF-based DI-matching stays cheapest and is nearly insensitive to the pattern co
 because the per-station probing cost is fixed at b·k bit probes per candidate.
 """
 
-from conftest import write_report
+from conftest import write_json_result, write_report
 
 from repro.baselines.naive import NaiveProtocol
 from repro.distributed.simulator import DistributedSimulation
+from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
 
@@ -28,6 +29,7 @@ def test_figure_4b_time_cost(benchmark, figure4_dataset, figure4_largest_workloa
         figure4_sweep, "time", "Figure 4(b): total time (s) vs number of patterns"
     )
     write_report("fig4b_time", report)
+    write_json_result("fig4b_time", comparison_sweep_payload(figure4_sweep))
 
     series = comparison_series(figure4_sweep, "time")
     # The naive method is the most expensive at every pattern count, and WBF stays

@@ -11,10 +11,11 @@ users-to-patterns ratio keeps the crossover far out of frame).  (The BF-vs-WBF
 ordering is scale-dependent — see bench_ablation_scale.py.)
 """
 
-from conftest import write_report
+from conftest import write_json_result, write_report
 
 from repro.baselines.bf_matching import BloomFilterProtocol
 from repro.distributed.simulator import DistributedSimulation
+from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
 
@@ -36,6 +37,7 @@ def test_figure_4c_communication_cost(
         "Figure 4(c): communication cost relative to the naive method",
     )
     write_report("fig4c_communication", report)
+    write_json_result("fig4c_communication", comparison_sweep_payload(figure4_sweep))
 
     series = comparison_series(figure4_sweep, "communication")
     assert all(value == 1.0 for value in series["naive"])

@@ -9,9 +9,10 @@ wire codec charging real encoded bytes, the WBF curve crosses naive within this
 sweep at our synthetic users-to-patterns ratio (see bench_fig4c_communication.py).
 """
 
-from conftest import write_report
+from conftest import write_json_result, write_report
 
 from repro.core.encoder import PatternEncoder
+from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
 
@@ -29,6 +30,7 @@ def test_figure_4d_storage_cost(
         figure4_sweep, "storage", "Figure 4(d): storage cost relative to the naive method"
     )
     write_report("fig4d_storage", report)
+    write_json_result("fig4d_storage", comparison_sweep_payload(figure4_sweep))
 
     series = comparison_series(figure4_sweep, "storage")
     assert all(value == 1.0 for value in series["naive"])

@@ -13,6 +13,7 @@ Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_wire_codec.py
 from fractions import Fraction
 
 import pytest
+from conftest import write_json_result
 
 from repro import wire
 from repro.bloom.backend import available_backends
@@ -118,3 +119,24 @@ def test_decode_report_upload(benchmark):
 
     decoded = benchmark(lambda: wire.decode(data))
     assert len(decoded) == REPORT_COUNT
+
+
+def test_write_machine_readable_sizes(benchmark):
+    """Persist the deterministic encoded sizes as BENCH_wire_codec.json."""
+    batch = _batch(BACKENDS[0])
+    reports = _reports()
+
+    plain = benchmark(lambda: wire.encode(batch))
+    compressed = wire.encode(batch, compress=True)
+    report_bytes = wire.encode(reports)
+    payload = {
+        "query_count": QUERY_COUNT,
+        "report_count": REPORT_COUNT,
+        "batch_bytes": len(plain),
+        "batch_bytes_zlib": len(compressed),
+        "report_upload_bytes": len(report_bytes),
+        "bytes_per_report": len(report_bytes) / REPORT_COUNT,
+    }
+    path = write_json_result("wire_codec", payload)
+    assert path.name == "BENCH_wire_codec.json"
+    assert len(compressed) < len(plain)

@@ -20,6 +20,7 @@ if str(_SRC) not in sys.path:
 
 from repro.core.config import DIMatchingConfig  # noqa: E402
 from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload  # noqa: E402
+from repro.evaluation.benchjson import write_bench_json  # noqa: E402
 from repro.evaluation.experiments import sweep_query_counts  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -36,6 +37,11 @@ def write_report(name: str, content: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(content + "\n", encoding="utf-8")
     return path
+
+
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist machine-readable numbers as ``benchmarks/results/BENCH_<name>.json``."""
+    return write_bench_json(RESULTS_DIR, name, payload)
 
 
 @pytest.fixture(scope="session")

@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.config import DIMatchingConfig, EXECUTOR_CHOICES
+from repro.core.config import DIMatchingConfig, EXECUTOR_CHOICES, FAULT_PROFILE_CHOICES
 from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
 from repro.evaluation.experiments import (
     convergence_study,
@@ -82,6 +82,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Number of station shards for the executor (0 = auto: one per "
         "station when serial, one per worker otherwise).",
     )
+    compare.add_argument(
+        "--fault-profile", default="none", choices=list(FAULT_PROFILE_CHOICES),
+        help="Seeded fault plan of the simulated network (drop/duplicate/"
+        "corrupt/reorder/straggler/blackout); surviving rounds produce "
+        "identical results under any profile — only the costs change.",
+    )
+    compare.add_argument(
+        "--net-seed", type=int, default=0,
+        help="Seed of the network fault injector; the same (dataset seed, "
+        "net seed, profile) triple replays a byte-identical event transcript.",
+    )
+    compare.add_argument(
+        "--allow-partial", action="store_true",
+        help="Let rounds survive station timeouts (lost stations drop out) "
+        "instead of failing with RoundTimeoutError.",
+    )
 
     table2 = subparsers.add_parser("table2", help="Reproduce Table II (effectiveness).")
     table2.add_argument("--days", type=int, default=4)
@@ -120,9 +136,10 @@ def _run_compare(args: argparse.Namespace) -> str:
         sample_count=args.sample_count,
         bit_backend=args.bit_backend,
     )
-    # The simulation-level override applies the chosen executor uniformly to
-    # every method (the naive/local baselines carry no DIMatchingConfig);
-    # library users can instead set DIMatchingConfig.executor per protocol.
+    # The simulation-level override applies the chosen executor and fault
+    # profile uniformly to every method (the naive/local baselines carry no
+    # DIMatchingConfig); library users can instead set
+    # DIMatchingConfig.executor / fault_profile / net_seed per protocol.
     result = run_comparison(
         dataset,
         workload,
@@ -130,30 +147,44 @@ def _run_compare(args: argparse.Namespace) -> str:
         methods=tuple(args.methods),
         executor=args.executor,
         shard_count=args.shards,
+        fault_plan=args.fault_profile,
+        net_seed=args.net_seed,
+        allow_partial=args.allow_partial,
     )
+    faulty = args.fault_profile != "none"
     rows = []
     for method in args.methods:
         outcome = result.outcome(method)
         relative = result.relative_costs(method, baseline=args.methods[0])
-        rows.append(
-            [
-                method,
-                round(outcome.metrics.precision, 4),
-                round(outcome.metrics.recall, 4),
-                outcome.costs.communication_bytes,
-                round(relative["communication"], 4),
-                round(outcome.costs.total_time_s, 4),
-            ]
-        )
+        row = [
+            method,
+            round(outcome.metrics.precision, 4),
+            round(outcome.metrics.recall, 4),
+            outcome.costs.communication_bytes,
+            round(relative["communication"], 4),
+            round(outcome.costs.total_time_s, 4),
+        ]
+        if faulty:
+            row.extend(
+                [
+                    outcome.costs.retransmit_count,
+                    round(outcome.costs.goodput_fraction, 4),
+                    outcome.costs.lost_station_count,
+                ]
+            )
+        rows.append(row)
     header = (
         f"dataset: {dataset.user_count} users, {dataset.station_count} stations, "
         f"{dataset.pattern_length} intervals; queries: {result.query_count} "
         f"({result.combined_pattern_count} combined patterns); "
         f"ground truth: {len(result.ground_truth)} users"
     )
-    table = render_table(
-        ["method", "precision", "recall", "comm bytes", "comm vs first", "time s"], rows
-    )
+    if faulty:
+        header += f"; faults: {args.fault_profile} (net seed {args.net_seed})"
+    columns = ["method", "precision", "recall", "comm bytes", "comm vs first", "time s"]
+    if faulty:
+        columns += ["retransmits", "goodput", "lost stations"]
+    table = render_table(columns, rows)
     return f"{header}\n{table}"
 
 

@@ -22,6 +22,22 @@ from repro.utils.validation import require_non_negative, require_positive
 #: distributed simulator (see :mod:`repro.distributed.executor`).
 EXECUTOR_CHOICES = ("serial", "thread", "process")
 
+#: Named fault profiles accepted by ``DIMatchingConfig.fault_profile``, the
+#: distributed simulator and the CLI.  The plans themselves live in
+#: :data:`repro.distributed.faults.FAULT_PROFILES` (which asserts its keys
+#: match this tuple); only the names live here so the dependency-light core
+#: package can validate configurations without importing the simulator.
+FAULT_PROFILE_CHOICES = (
+    "none",
+    "lossy",
+    "duplicating",
+    "corrupting",
+    "reordering",
+    "straggler",
+    "blackout",
+    "chaos",
+)
+
 
 @dataclass(frozen=True)
 class DIMatchingConfig:
@@ -59,6 +75,16 @@ class DIMatchingConfig:
     #: Number of station shards for the executor; 0 (auto) means one shard per
     #: station when serial, one per worker otherwise.
     shard_count: int = 0
+    #: Fault profile of the simulated network (see
+    #: :data:`repro.distributed.faults.FAULT_PROFILES`).  Like ``executor``
+    #: this is a local simulation knob: it never travels on the wire and only
+    #: affects which transport faults a round is exposed to, never what a
+    #: surviving round computes.
+    fault_profile: str = "none"
+    #: Seed of the network fault injector.  Together with the dataset seed and
+    #: the fault profile it fully determines the round's event transcript, so
+    #: any simulated failure replays from these three values.
+    net_seed: int = 0
     #: Hash ``(time index, accumulated value)`` tuples rather than bare values.  The
     #: accumulation transform already embeds order, but including the index removes
     #: residual cross-position collisions; the paper hashes values only, so this is
@@ -111,6 +137,13 @@ class DIMatchingConfig:
             raise ConfigurationError(
                 f"shard_count must be a non-negative integer (0 = auto), got {self.shard_count!r}"
             )
+        if self.fault_profile not in FAULT_PROFILE_CHOICES:
+            raise ConfigurationError(
+                f"fault_profile must be one of {FAULT_PROFILE_CHOICES}, "
+                f"got {self.fault_profile!r}"
+            )
+        if not isinstance(self.net_seed, int) or isinstance(self.net_seed, bool):
+            raise ConfigurationError(f"net_seed must be an integer, got {self.net_seed!r}")
         if self.epsilon_tolerance_mode not in ("interval", "accumulated"):
             raise ConfigurationError(
                 "epsilon_tolerance_mode must be 'interval' or 'accumulated', "

@@ -156,6 +156,55 @@ class ContinuousMatchingSession:
         self._delta_bytes_shipped += sum(len(data) for data in deltas.values())
         return deltas
 
+    def ship_deltas(self, network, center) -> dict[str, bytes]:
+        """Ship the dirty stations' reports to ``center`` through a transport.
+
+        Each dirty station's cached reports travel as one encoded
+        ``MATCH_REPORT`` message through the event-driven
+        :class:`~repro.distributed.network.SimulatedNetwork` — exposed to its
+        fault plan, retransmitted on loss/corruption, decoded by the center
+        from real wire bytes.  Stations whose transfer completed are marked
+        clean; a station whose transfer timed out (partial-delivery networks
+        only) *stays dirty* so the next shipment retries it.  Returns
+        ``station_id -> payload wire bytes`` for the stations that delivered;
+        raises :class:`~repro.distributed.events.RoundTimeoutError` on a
+        strict network that cannot converge.
+        """
+        # Imported lazily: core must not depend on distributed at module load
+        # (distributed imports core).
+        from repro.distributed.events import RoundTimeoutError
+        from repro.distributed.messages import Message, MessageKind
+
+        sends = []
+        for station_id in self._dirty:
+            message = Message(
+                sender=station_id,
+                recipient=center.node_id,
+                kind=MessageKind.MATCH_REPORT,
+                payload=list(self._reports_by_station.get(station_id, [])),
+            )
+            sends.append((message, center))
+        try:
+            outcome = network.gather(sends)
+        except RoundTimeoutError as error:
+            # Stations that delivered before the phase failed already sit
+            # decoded in the center's inbox: mark them clean so a retry after
+            # the error cannot re-ship them (exactly-once to the application).
+            self._mark_shipped(sends, error.delivered_ids)
+            raise
+        return self._mark_shipped(sends, outcome.delivered_ids)
+
+    def _mark_shipped(self, sends, delivered_ids) -> dict[str, bytes]:
+        """Clear dirty flags and account bytes for the delivered stations."""
+        delivered: dict[str, bytes] = {}
+        for message, _receiver in sends:
+            if message.sender in delivered_ids:
+                payload = message.payload_wire()
+                delivered[message.sender] = payload
+                self._dirty.pop(message.sender, None)
+                self._delta_bytes_shipped += len(payload)
+        return delivered
+
     # -- queries ----------------------------------------------------------------
 
     def pending_reports(self) -> list[object]:

@@ -27,3 +27,21 @@ class DataCenterNode(Node):
     ) -> RankedResults:
         """Run the protocol's aggregation phase over all collected reports."""
         return protocol.aggregate(reports, k)
+
+    def reports_by_sender(self) -> dict[str, list[object]]:
+        """Decoded match-report payloads in the inbox, grouped by station.
+
+        These are the reports that actually crossed the uplink — decoded from
+        wire bytes by the transport, deduplicated at the frame layer.  The
+        simulator aggregates them in canonical station order so delivery
+        reordering can never change the ranking.
+        """
+        from repro.distributed.messages import MessageKind
+
+        grouped: dict[str, list[object]] = {}
+        for message in self._inbox:
+            if message.kind is not MessageKind.MATCH_REPORT:
+                continue
+            reports = message.payload if isinstance(message.payload, list) else []
+            grouped.setdefault(message.sender, []).extend(reports)
+        return grouped

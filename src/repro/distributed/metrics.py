@@ -31,6 +31,23 @@ class CostReport:
     executor: str = "serial"
     #: Number of station shards the matching phase was partitioned into.
     shard_count: int = 0
+    #: Fault profile the round's transport ran under ("none" = fault-free).
+    fault_profile: str = "none"
+    #: Seed of the network fault injector for this round.
+    net_seed: int = 0
+    #: Retransmissions the ack/retransmit policy issued (0 when fault-free).
+    retransmit_count: int = 0
+    #: Frames lost to drop faults or blackouts.
+    dropped_frame_count: int = 0
+    #: Duplicate/late frame arrivals the receivers suppressed.
+    duplicate_frame_count: int = 0
+    #: Frames rejected as corrupt (by the wire decode or the frame checksum).
+    corrupt_frame_count: int = 0
+    #: Stations whose transfers timed out and dropped out of a partial round.
+    lost_station_count: int = 0
+    #: Unique delivered payload bytes over total bytes put on the wire
+    #: (exactly 1.0 for a fault-free round).
+    goodput_fraction: float = 1.0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property

@@ -6,7 +6,16 @@ from repro.distributed.messages import Message
 
 
 class Node:
-    """A named participant in the simulated environment with an inbox."""
+    """A named participant in the simulated environment with an inbox.
+
+    Nodes receive traffic in one of two forms: already-decoded
+    :class:`~repro.distributed.messages.Message` objects (:meth:`receive`, the
+    in-memory fallback for payloads outside the wire vocabulary) or raw wire
+    bytes (:meth:`receive_wire`, the path the event-driven transport uses —
+    every frame a node accepts has passed through the real binary decode, so a
+    corrupted frame surfaces as a typed
+    :class:`~repro.wire.errors.WireFormatError` here, never as wrong data).
+    """
 
     def __init__(self, node_id: str) -> None:
         self._node_id = str(node_id)
@@ -23,12 +32,24 @@ class Node:
         return list(self._inbox)
 
     def receive(self, message: Message) -> None:
-        """Deliver ``message`` to this node."""
+        """Deliver an already-decoded ``message`` to this node."""
         if message.recipient != self._node_id:
             raise ValueError(
                 f"message addressed to {message.recipient!r} delivered to {self._node_id!r}"
             )
         self._inbox.append(message)
+
+    def receive_wire(self, data: bytes, backend: str = "auto") -> Message:
+        """Decode ``data`` through the wire codec and deliver the message.
+
+        Raises :class:`~repro.wire.errors.WireFormatError` when the bytes are
+        not a valid message encoding (the transport treats that as frame loss
+        and retransmits) and :class:`ValueError` when the decoded message is
+        addressed to another node.  Returns the decoded message.
+        """
+        message = Message.from_wire(data, backend=backend)
+        self.receive(message)
+        return message
 
     def clear_inbox(self) -> None:
         """Discard all received messages."""

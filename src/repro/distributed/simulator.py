@@ -13,25 +13,36 @@ three phases of Figure 2 over a :class:`~repro.datagen.workload.DistributedDatas
 3. stations upload their reports (uplink traffic, serialized at the center's
    ingress) and the data center aggregates them into the ranked top-K.
 
-All byte counts are *real*: messages and artifacts are encoded through the
-binary wire codec (:mod:`repro.wire`) and charged at their actual encoded
-length; the estimate model only backs up payloads outside the codec's
-vocabulary.  The outcome bundles the ranked results with a
-:class:`~repro.distributed.metrics.CostReport` containing exactly the
-quantities Figure 4 plots.
+All traffic moves as *encoded wire bytes* through the deterministic
+event-driven transport (:mod:`repro.distributed.network`): messages are
+framed, exposed to the round's seeded fault plan (drop / duplicate / corrupt /
+reorder / jitter / stragglers / blackouts), delivered reliably by the data
+center's ack/retransmit policy, and decoded by the receiving node — so a
+corrupted frame exercises the real
+:class:`~repro.wire.errors.WireFormatError` path and a surviving round is
+always exactly correct.  The matching phase runs against the artifact the
+stations actually decoded off the wire; the uplink aggregation consumes the
+report objects the center decoded.  Byte counts are the real encoded lengths
+(the estimate model only backs up payloads outside the codec's vocabulary),
+and under the all-zero fault plan the outcome is byte-for-byte identical to
+the legacy accounting model.  The outcome bundles the ranked results with a
+:class:`~repro.distributed.metrics.CostReport` (including retransmit /
+goodput counters) and the round's replayable event transcript.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro import wire
 from repro.core.protocol import MatchingProtocol, RankedResults
 from repro.distributed.basestation import BaseStationNode
 from repro.distributed.datacenter import DataCenterNode
+from repro.distributed.events import TranscriptEntry, transcript_to_bytes
 from repro.distributed.executor import ShardedStationRunner, merge_shard_outcomes
+from repro.distributed.faults import FaultPlan, resolve_fault_plan
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig, SimulatedNetwork
@@ -49,11 +60,19 @@ class SimulationOutcome:
     method: str
     results: RankedResults
     costs: CostReport
+    #: The round's deterministic network transcript — identical seeds and
+    #: fault profile reproduce these entries byte-for-byte (see
+    #: :func:`repro.distributed.events.transcript_to_bytes`).
+    transcript: tuple[TranscriptEntry, ...] = field(default=())
 
     @property
     def retrieved_user_ids(self) -> list[str]:
         """Retrieved user ids in rank order."""
         return self.results.user_ids()
+
+    def transcript_bytes(self) -> bytes:
+        """Canonical byte rendering of the round's event transcript."""
+        return transcript_to_bytes(self.transcript)
 
 
 def _artifact_size_bytes(artifact: object | None) -> int:
@@ -70,11 +89,21 @@ class DistributedSimulation:
     """Drives matching protocols over a distributed dataset with cost accounting.
 
     ``executor`` / ``shard_count`` / ``max_workers`` select how the station
-    phase runs (see :mod:`repro.distributed.executor`).  When ``executor`` is
-    ``None`` the simulation defers to the protocol's configuration
-    (``DIMatchingConfig.executor``) and falls back to ``"serial"`` for
-    protocols without one.  Executor choice never changes results or byte
-    counts — only measured wall-clock.
+    phase runs (see :mod:`repro.distributed.executor`).  ``fault_plan`` (a
+    :class:`~repro.distributed.faults.FaultPlan` or profile name) and
+    ``net_seed`` select what the simulated transport may do to the round's
+    frames.  When any of these is ``None`` the simulation defers to the
+    protocol's configuration (``DIMatchingConfig.executor`` /
+    ``fault_profile`` / ``net_seed``) and falls back to fault-free serial
+    execution for protocols without one.  Executor choice never changes
+    results, byte counts or the network transcript — only measured
+    wall-clock; the fault plan and network seed never change what a
+    *surviving* round computes, only what it costs.
+
+    ``allow_partial=True`` lets a round survive transfers that exhaust their
+    retransmission budget: timed-out stations drop out (tracked in
+    ``CostReport.lost_station_count``) instead of failing the round with a
+    :class:`~repro.distributed.events.RoundTimeoutError`.
     """
 
     def __init__(
@@ -84,12 +113,18 @@ class DistributedSimulation:
         executor: str | None = None,
         shard_count: int | None = None,
         max_workers: int | None = None,
+        fault_plan: FaultPlan | str | None = None,
+        net_seed: int | None = None,
+        allow_partial: bool = False,
     ) -> None:
         self._dataset = dataset
         self._network_config = network_config or NetworkConfig()
         self._executor = executor
         self._shard_count = shard_count
         self._max_workers = max_workers
+        self._fault_plan = fault_plan
+        self._net_seed = net_seed
+        self._allow_partial = bool(allow_partial)
         self._runners: dict[tuple[str, int], ShardedStationRunner] = {}
         self._center = DataCenterNode()
         self._stations: list[BaseStationNode] = []
@@ -137,6 +172,25 @@ class DistributedSimulation:
             self._runners[key] = runner
         return runner
 
+    def _network_for(self, protocol: MatchingProtocol) -> SimulatedNetwork:
+        """Fresh per-round transport, faults resolved like the executor knobs."""
+        config = getattr(protocol, "config", None)
+        plan = resolve_fault_plan(
+            self._fault_plan
+            if self._fault_plan is not None
+            else getattr(config, "fault_profile", "none")
+        )
+        net_seed = (
+            self._net_seed if self._net_seed is not None else getattr(config, "net_seed", 0)
+        )
+        return SimulatedNetwork(
+            self._network_config,
+            fault_plan=plan,
+            seed=net_seed,
+            decode_backend=getattr(config, "bit_backend", "auto"),
+            allow_partial=self._allow_partial,
+        )
+
     def close(self) -> None:
         """Shut down any worker pools the simulation spun up."""
         for runner in self._runners.values():
@@ -155,14 +209,24 @@ class DistributedSimulation:
         queries: Sequence[QueryPattern],
         k: int | None = None,
     ) -> SimulationOutcome:
-        """Execute one full matching round and return results plus costs."""
-        network = SimulatedNetwork(self._network_config)
+        """Execute one full matching round and return results plus costs.
 
-        # Phase 1: encoding at the data center, then dissemination to stations.
+        Raises :class:`~repro.distributed.events.RoundTimeoutError` when a
+        transfer cannot be delivered within the retransmission budget and the
+        simulation was not constructed with ``allow_partial=True``.
+        """
+        network = self._network_for(protocol)
+        self._center.clear_inbox()
+        for station in self._stations:
+            station.clear_inbox()
+
+        # Phase 1: encoding at the data center, then reliable dissemination —
+        # every station decodes the artifact from the wire bytes it received.
         encode_start = time.perf_counter()
         artifact = self._center.encode(protocol, queries)
         encode_time = time.perf_counter() - encode_start
 
+        downlink_sends: list[tuple[Message, BaseStationNode]] = []
         for station in self._stations:
             message = Message(
                 sender=self._center.node_id,
@@ -176,20 +240,31 @@ class DistributedSimulation:
                 ),
                 payload=artifact,
             )
-            network.send_downlink(message)
-            station.receive(message)
+            downlink_sends.append((message, station))
+        downlink = network.broadcast(downlink_sends)
+        lost_stations = set(downlink.failed_ids)
+        active_stations = [s for s in self._stations if s.node_id not in lost_stations]
+
+        # The matching phase runs against what actually crossed the wire: the
+        # artifact one surviving station decoded.  All surviving copies are
+        # equal by the transport's integrity guarantee (checksum + canonical
+        # codec), so one decoded instance is shared across shards rather than
+        # shipping N copies to process workers.
+        matching_artifact = (
+            active_stations[0].latest_artifact() if active_stations else artifact
+        )
 
         # Phase 2: sharded per-station matching; simulated wall time is the
         # maximum over shards (shards run concurrently, a shard sequentially).
         runner = self._runner_for(protocol)
-        shard_outcomes = runner.run(protocol, self._stations, artifact)
+        shard_outcomes = runner.run(protocol, active_stations, matching_artifact)
         reports_by_station = merge_shard_outcomes(shard_outcomes)
         shard_times = [outcome.elapsed_s for outcome in shard_outcomes]
 
-        # Uplink in deterministic station order, independent of shard layout.
-        all_reports: list[object] = []
-        uplink_payload_bytes = 0
-        for station in self._stations:
+        # Phase 3a: reliable uplink in deterministic station order (frames
+        # serialize at the center's ingress independently of shard layout).
+        uplink_sends: list[tuple[Message, DataCenterNode]] = []
+        for station in active_stations:
             reports = reports_by_station[station.node_id]
             message = Message(
                 sender=station.node_id,
@@ -197,16 +272,25 @@ class DistributedSimulation:
                 kind=MessageKind.MATCH_REPORT,
                 payload=reports,
             )
-            network.send_uplink(message)
-            self._center.receive(message)
-            uplink_payload_bytes += message.payload_bytes()
-            all_reports.extend(reports)
+            uplink_sends.append((message, self._center))
+        uplink = network.gather(uplink_sends)
+        lost_stations.update(uplink.failed_ids)
 
-        # Phase 3: aggregation and ranking at the data center.
+        # Phase 3b: aggregation over the reports the center actually decoded,
+        # consumed in canonical station order so delivery reordering can never
+        # change the ranking.
+        decoded_by_sender = self._center.reports_by_sender()
+        uplink_payload_bytes = 0
+        all_reports: list[object] = []
+        for message, _receiver in uplink_sends:
+            if message.sender in decoded_by_sender:
+                uplink_payload_bytes += message.payload_bytes()
+                all_reports.extend(decoded_by_sender[message.sender])
         aggregate_start = time.perf_counter()
         results = self._center.aggregate(protocol, all_reports, k)
         aggregate_time = time.perf_counter() - aggregate_start
 
+        stats = network.frame_stats()
         artifact_bytes = _artifact_size_bytes(artifact)
         costs = CostReport(
             method=protocol.name,
@@ -216,7 +300,7 @@ class DistributedSimulation:
             # The center keeps the artifact it built plus everything it received;
             # every station keeps the artifact it received on top of its raw data.
             storage_center_bytes=artifact_bytes + uplink_payload_bytes,
-            storage_station_bytes=artifact_bytes * len(self._stations),
+            storage_station_bytes=artifact_bytes * len(active_stations),
             encode_time_s=encode_time,
             station_time_s=max(shard_times) if shard_times else 0.0,
             aggregate_time_s=aggregate_time,
@@ -224,5 +308,18 @@ class DistributedSimulation:
             report_count=len(all_reports),
             executor=runner.executor,
             shard_count=len(shard_outcomes),
+            fault_profile=network.fault_plan.name,
+            net_seed=network.seed,
+            retransmit_count=stats.retransmit_count,
+            dropped_frame_count=stats.frames_dropped,
+            duplicate_frame_count=stats.frames_duplicate,
+            corrupt_frame_count=stats.frames_corrupt,
+            lost_station_count=len(lost_stations),
+            goodput_fraction=stats.goodput_fraction,
         )
-        return SimulationOutcome(method=protocol.name, results=results, costs=costs)
+        return SimulationOutcome(
+            method=protocol.name,
+            results=results,
+            costs=costs,
+            transcript=network.transcript,
+        )

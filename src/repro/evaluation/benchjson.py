@@ -1,0 +1,99 @@
+"""Machine-readable benchmark results (``BENCH_<name>.json`` files).
+
+The plain-text reports under ``benchmarks/results/`` are for humans; this
+module is the shared runner that also persists every benchmark's numbers in a
+stable JSON schema so the bench trajectory can be tracked across commits by
+tooling.  Two layers:
+
+* :func:`comparison_sweep_payload` — flattens a Figure-4 style query-count
+  sweep (:class:`~repro.evaluation.experiments.ComparisonResult` list) into
+  per-method series of every plotted quantity plus the reliability counters
+  the fault model adds;
+* :func:`write_bench_json` — writes any payload as ``BENCH_<name>.json`` with
+  a schema version and sorted keys, so files diff cleanly run-to-run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.evaluation.experiments import ComparisonResult
+from repro.evaluation.reporting import comparison_series
+from repro.utils.validation import require_non_empty
+
+#: Bump on any incompatible change to the emitted JSON layout.
+SCHEMA_VERSION = 1
+
+#: The quantities a comparison sweep records, in emission order.
+SWEEP_QUANTITIES = ("precision", "time", "communication", "storage")
+
+
+def comparison_sweep_payload(
+    results: Sequence[ComparisonResult],
+    methods: Sequence[str] = ("naive", "bf", "wbf"),
+) -> dict:
+    """One JSON-ready payload for a whole Figure-4 query-count sweep.
+
+    Emits the pattern counts, per-method series for every plotted quantity
+    (communication/storage relative to the first method, as the figures plot
+    them), the absolute communication bytes, and the reliability counters
+    (retransmits, goodput, lost stations) so faulty sweeps are comparable to
+    fault-free ones.
+    """
+    require_non_empty(results, "results")
+    payload: dict = {
+        "pattern_counts": [result.combined_pattern_count for result in results],
+        "query_counts": [result.query_count for result in results],
+        "methods": list(methods),
+        "series": {},
+        "communication_bytes": {},
+        "reliability": {},
+    }
+    for quantity in SWEEP_QUANTITIES:
+        payload["series"][quantity] = comparison_series(results, quantity, methods)
+    for method in methods:
+        outcomes = [result.outcome(method) for result in results]
+        payload["communication_bytes"][method] = [
+            outcome.costs.communication_bytes for outcome in outcomes
+        ]
+        payload["reliability"][method] = {
+            "fault_profile": outcomes[0].costs.fault_profile,
+            "net_seed": outcomes[0].costs.net_seed,
+            "retransmits": [outcome.costs.retransmit_count for outcome in outcomes],
+            "goodput": [outcome.costs.goodput_fraction for outcome in outcomes],
+            "lost_stations": [outcome.costs.lost_station_count for outcome in outcomes],
+        }
+    return payload
+
+
+def write_bench_json(directory: "Path | str", name: str, payload: dict) -> Path:
+    """Persist ``payload`` as ``BENCH_<name>.json`` under ``directory``.
+
+    The envelope adds the schema version and the benchmark name; keys are
+    sorted so reruns with identical numbers produce byte-identical files.
+    Returns the written path.
+    """
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"benchmark name must be a plain identifier, got {name!r}")
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "payload": payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def read_bench_json(path: "Path | str") -> dict:
+    """Load a ``BENCH_*.json`` file and return its payload envelope."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench schema {document.get('schema_version')!r} in {path}"
+        )
+    return document

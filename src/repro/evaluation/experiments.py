@@ -25,6 +25,7 @@ from repro.datagen.workload import (
     build_dataset,
     build_query_workload,
 )
+from repro.distributed.faults import FaultPlan
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig
 from repro.distributed.simulator import DistributedSimulation
@@ -126,14 +127,20 @@ def run_comparison(
     network_config: NetworkConfig | None = None,
     executor: str | None = None,
     shard_count: int | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    net_seed: int | None = None,
+    allow_partial: bool = False,
 ) -> ComparisonResult:
     """Run every requested method on one query batch and score it against ground truth.
 
     When ``k`` is None the cutoff is set to the ground-truth size, i.e. every method
     is asked for exactly as many users as are truly relevant (precision@|truth|).
     ``executor`` / ``shard_count`` select the station-execution backend for *all*
-    methods (results and byte counts are executor-invariant); when None, each
-    protocol's own configuration decides.
+    methods (results and byte counts are executor-invariant); ``fault_plan`` /
+    ``net_seed`` select the seeded transport faults every method's round is
+    exposed to (a surviving round's results are fault-invariant — faults change
+    costs, never answers).  When None, each protocol's own configuration
+    decides.
     """
     config = config or DIMatchingConfig(epsilon=int(workload.epsilon))
     queries = list(workload.queries)
@@ -141,7 +148,13 @@ def run_comparison(
     cutoff = k if k is not None else len(truth)
     outcomes: dict[str, MethodOutcome] = {}
     with DistributedSimulation(
-        dataset, network_config, executor=executor, shard_count=shard_count
+        dataset,
+        network_config,
+        executor=executor,
+        shard_count=shard_count,
+        fault_plan=fault_plan,
+        net_seed=net_seed,
+        allow_partial=allow_partial,
     ) as simulation:
         for protocol in make_protocols(config, workload.epsilon, methods):
             outcome = simulation.run(protocol, queries, cutoff)
@@ -170,6 +183,9 @@ def sweep_query_counts(
     network_config: NetworkConfig | None = None,
     executor: str | None = None,
     shard_count: int | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    net_seed: int | None = None,
+    allow_partial: bool = False,
 ) -> list[ComparisonResult]:
     """Figure 4: run the method comparison for increasing numbers of query patterns."""
     require_non_empty(query_counts, "query_counts")
@@ -186,6 +202,9 @@ def sweep_query_counts(
                 network_config=network_config,
                 executor=executor,
                 shard_count=shard_count,
+                fault_plan=fault_plan,
+                net_seed=net_seed,
+                allow_partial=allow_partial,
             )
         )
     return results

@@ -1,0 +1,77 @@
+"""Smoke test of the shared machine-readable benchmark runner.
+
+Runs one tiny Figure-4-style sweep end-to-end through
+:mod:`repro.evaluation.benchjson` and checks the emitted ``BENCH_*.json``
+structure — so a schema regression is caught by tier-1 instead of by a human
+reading an empty bench trajectory.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import DIMatchingConfig
+from repro.evaluation.benchjson import (
+    SCHEMA_VERSION,
+    SWEEP_QUANTITIES,
+    comparison_sweep_payload,
+    read_bench_json,
+    write_bench_json,
+)
+from repro.evaluation.experiments import sweep_query_counts
+
+METHODS = ("naive", "wbf")
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep(small_dataset):
+    config = DIMatchingConfig(epsilon=0, sample_count=12, hash_count=4)
+    return sweep_query_counts(
+        small_dataset, [2, 4], epsilon=0, config=config, methods=METHODS, seed=7
+    )
+
+
+def test_sweep_payload_structure(tiny_sweep):
+    payload = comparison_sweep_payload(tiny_sweep, methods=METHODS)
+    assert payload["methods"] == list(METHODS)
+    assert len(payload["pattern_counts"]) == 2
+    assert payload["query_counts"] == [2, 4]
+    for quantity in SWEEP_QUANTITIES:
+        series = payload["series"][quantity]
+        assert set(series) == set(METHODS)
+        assert all(len(values) == 2 for values in series.values())
+    for method in METHODS:
+        assert len(payload["communication_bytes"][method]) == 2
+        reliability = payload["reliability"][method]
+        assert reliability["fault_profile"] == "none"
+        assert reliability["retransmits"] == [0, 0]
+        assert reliability["goodput"] == [1.0, 1.0]
+
+
+def test_write_and_read_round_trip(tiny_sweep, tmp_path):
+    payload = comparison_sweep_payload(tiny_sweep, methods=METHODS)
+    path = write_bench_json(tmp_path, "fig4_smoke", payload)
+    assert path.name == "BENCH_fig4_smoke.json"
+    document = read_bench_json(path)
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["benchmark"] == "fig4_smoke"
+    assert document["payload"] == json.loads(json.dumps(payload))
+
+
+def test_rewrite_with_identical_numbers_is_byte_stable(tiny_sweep, tmp_path):
+    payload = comparison_sweep_payload(tiny_sweep, methods=METHODS)
+    first = write_bench_json(tmp_path, "stable", payload).read_bytes()
+    second = write_bench_json(tmp_path, "stable", payload).read_bytes()
+    assert first == second
+
+
+def test_write_rejects_path_like_names(tmp_path):
+    with pytest.raises(ValueError):
+        write_bench_json(tmp_path, "../escape", {})
+
+
+def test_read_rejects_unknown_schema(tmp_path):
+    bogus = tmp_path / "BENCH_x.json"
+    bogus.write_text(json.dumps({"schema_version": 999, "payload": {}}))
+    with pytest.raises(ValueError):
+        read_bench_json(bogus)

@@ -1,0 +1,95 @@
+"""The fault-profile grid: every surviving run is exactly correct.
+
+Sweeps the named fault profiles over a grid of network seeds and asserts the
+harness's core safety property: a round either fails loudly with the typed
+:class:`~repro.distributed.events.RoundTimeoutError` or returns *exactly* the
+fault-free reference results — faults may change costs (retransmits, goodput,
+latency) but can never silently change an answer.  Blackout timeouts and
+partial rounds are exercised with an explicit long-blackout plan.
+"""
+
+import pytest
+
+from repro.core.config import FAULT_PROFILE_CHOICES
+from repro.distributed.events import RoundTimeoutError
+from repro.distributed.faults import FAULT_PROFILES, FaultPlan
+
+from .conftest import run_round
+
+NET_SEEDS = (1, 2, 3)
+GRID = [
+    (profile, net_seed)
+    for profile in FAULT_PROFILE_CHOICES
+    for net_seed in NET_SEEDS
+]
+
+
+@pytest.mark.parametrize(
+    "profile,net_seed", GRID, ids=[f"{p}-net{n}" for p, n in GRID]
+)
+def test_surviving_runs_are_exactly_correct(profile, net_seed, reference_outcome):
+    try:
+        outcome = run_round(31, net_seed, profile)
+    except RoundTimeoutError:
+        # A loud, typed failure is an acceptable outcome; a wrong answer is not.
+        return
+    assert outcome.results == reference_outcome.results
+    assert outcome.costs.report_count == reference_outcome.costs.report_count
+    # Reliability never inflates goodput above 1 and strict rounds lose nobody.
+    assert 0.0 < outcome.costs.goodput_fraction <= 1.0
+    assert outcome.costs.lost_station_count == 0
+    assert outcome.costs.fault_profile == profile
+    assert outcome.costs.net_seed == net_seed
+
+
+def test_grid_actually_exercises_faults():
+    """At least one profile in the grid pays a visible reliability cost."""
+    exercised = set()
+    for profile in ("lossy", "duplicating", "corrupting", "chaos"):
+        for net_seed in NET_SEEDS:
+            try:
+                outcome = run_round(31, net_seed, profile)
+            except RoundTimeoutError:
+                exercised.add(profile)
+                continue
+            costs = outcome.costs
+            if (
+                costs.retransmit_count
+                or costs.dropped_frame_count
+                or costs.duplicate_frame_count
+                or costs.corrupt_frame_count
+            ):
+                exercised.add(profile)
+    assert {"lossy", "duplicating", "corrupting", "chaos"} <= exercised
+
+
+_LONG_BLACKOUT = FaultPlan(
+    name="custom",
+    blackout_probability=0.6,
+    blackout_start_s=0.0,
+    blackout_end_s=60.0,
+)
+
+
+def test_unreachable_station_times_out_with_typed_error():
+    with pytest.raises(RoundTimeoutError) as excinfo:
+        run_round(31, 2, _LONG_BLACKOUT)
+    assert excinfo.value.failed_transfers
+
+
+def test_partial_round_survives_blackout_without_fabricating_matches(reference_outcome):
+    outcome = run_round(31, 2, _LONG_BLACKOUT, allow_partial=True)
+    assert outcome.costs.lost_station_count > 0
+    reference_complete = {
+        entry.user_id for entry in reference_outcome.results if entry.score == 1.0
+    }
+    partial_complete = {entry.user_id for entry in outcome.results if entry.score == 1.0}
+    # Losing stations can only lose matches, never invent them.
+    assert partial_complete <= reference_complete
+
+
+def test_profile_names_match_plan_registry():
+    assert set(FAULT_PROFILES) == set(FAULT_PROFILE_CHOICES)
+    for name, plan in FAULT_PROFILES.items():
+        assert plan.name == name
+    assert FAULT_PROFILES["none"].is_fault_free

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import DIMatchingConfig
+from repro.core.config import DIMatchingConfig, FAULT_PROFILE_CHOICES
 from repro.core.exceptions import ConfigurationError
 
 
@@ -73,3 +73,30 @@ class TestWithUpdates:
     def test_updates_are_validated(self):
         with pytest.raises(ConfigurationError):
             DIMatchingConfig().with_updates(sample_count=-1)
+
+
+class TestFaultKnobs:
+    def test_defaults_are_fault_free(self):
+        config = DIMatchingConfig()
+        assert config.fault_profile == "none"
+        assert config.net_seed == 0
+
+    def test_known_profiles_accepted(self):
+        for profile in FAULT_PROFILE_CHOICES:
+            assert DIMatchingConfig(fault_profile=profile).fault_profile == profile
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DIMatchingConfig(fault_profile="catastrophic")
+
+    def test_net_seed_must_be_an_integer(self):
+        with pytest.raises(ConfigurationError):
+            DIMatchingConfig(net_seed="zero")
+        with pytest.raises(ConfigurationError):
+            DIMatchingConfig(net_seed=True)
+
+    def test_fault_knobs_never_travel_on_the_wire(self):
+        from repro.wire.codec import _CONFIG_WIRE_FIELDS
+
+        assert "fault_profile" not in _CONFIG_WIRE_FIELDS
+        assert "net_seed" not in _CONFIG_WIRE_FIELDS

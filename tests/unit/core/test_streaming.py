@@ -149,6 +149,80 @@ class TestWireDeltas:
         assert session.collect_deltas() == {}
 
 
+class TestShipDeltas:
+    def _dirty_session(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("alice", [1, 0, 2, 0], "bs-1")])
+        )
+        session.update_station(
+            "bs-2", PatternSet([LocalPattern("alice", [0, 3, 0, 4], "bs-2")])
+        )
+        return session
+
+    def test_deltas_cross_the_wire_into_the_center(self, session):
+        from repro.distributed.network import SimulatedNetwork
+        from repro.distributed.node import Node
+
+        self._dirty_session(session)
+        center = Node("data-center")
+        network = SimulatedNetwork()
+        delivered = session.ship_deltas(network, center)
+        assert set(delivered) == {"bs-1", "bs-2"}
+        assert session.dirty_station_ids == ()
+        assert session.delta_bytes_shipped == sum(len(d) for d in delivered.values())
+        # The center decoded real report payloads off the wire.
+        senders = {message.sender for message in center.inbox}
+        assert senders == {"bs-1", "bs-2"}
+        for message in center.inbox:
+            assert [r.user_id for r in message.payload] == ["alice"]
+
+    def test_strict_failure_marks_delivered_stations_clean_before_raising(self, session):
+        from repro.distributed.events import RoundTimeoutError
+        from repro.distributed.faults import FaultPlan
+        from repro.distributed.network import NetworkConfig, SimulatedNetwork
+        from repro.distributed.node import Node
+
+        self._dirty_session(session)
+        center = Node("data-center")
+        # Seed 0 blacks out bs-1 past the retry horizon while bs-2 delivers,
+        # so the strict gather raises after one station already landed.
+        network = SimulatedNetwork(
+            NetworkConfig(max_attempts=2),
+            fault_plan=FaultPlan(
+                blackout_probability=0.5, blackout_start_s=0.0, blackout_end_s=60.0
+            ),
+            seed=0,
+        )
+        with pytest.raises(RoundTimeoutError):
+            session.ship_deltas(network, center)
+        assert {message.sender for message in center.inbox} == {"bs-2"}
+        # The delivered station is clean; only the failed one retries, so the
+        # center can never receive bs-2's reports twice (exactly-once).
+        assert set(session.dirty_station_ids) == {"bs-1"}
+        delivered = session.ship_deltas(SimulatedNetwork(), center)
+        assert set(delivered) == {"bs-1"}
+        assert [message.sender for message in center.inbox].count("bs-2") == 1
+
+    def test_timed_out_station_stays_dirty_for_the_next_shipment(self, session):
+        from repro.distributed.faults import FaultPlan
+        from repro.distributed.network import NetworkConfig, SimulatedNetwork
+        from repro.distributed.node import Node
+
+        self._dirty_session(session)
+        center = Node("data-center")
+        black_hole = SimulatedNetwork(
+            NetworkConfig(max_attempts=2),
+            fault_plan=FaultPlan(drop_probability=1.0),
+            allow_partial=True,
+        )
+        assert session.ship_deltas(black_hole, center) == {}
+        assert set(session.dirty_station_ids) == {"bs-1", "bs-2"}
+        # A healthy network later retries and drains the dirty set.
+        delivered = session.ship_deltas(SimulatedNetwork(), center)
+        assert set(delivered) == {"bs-1", "bs-2"}
+        assert session.dirty_station_ids == ()
+
+
 class TestWithOtherProtocols:
     def test_works_with_plain_bf_protocol(self):
         session = ContinuousMatchingSession(

@@ -1,0 +1,122 @@
+"""Unit tests for the seeded fault plans and the deterministic injector."""
+
+import pytest
+
+from repro.core.config import FAULT_PROFILE_CHOICES
+from repro.distributed.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultPlan,
+    resolve_fault_plan,
+)
+
+
+class TestFaultPlan:
+    def test_defaults_are_fault_free(self):
+        assert FaultPlan().is_fault_free
+
+    def test_any_active_fault_clears_the_fault_free_flag(self):
+        assert not FaultPlan(drop_probability=0.1).is_fault_free
+        assert not FaultPlan(jitter_s=0.01).is_fault_free
+        assert not FaultPlan(straggler_probability=0.5).is_fault_free
+        assert not FaultPlan(blackout_probability=0.5, blackout_end_s=1.0).is_fault_free
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_probability=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(blackout_start_s=2.0, blackout_end_s=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(jitter_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(name="")
+
+    def test_with_updates(self):
+        plan = FaultPlan(drop_probability=0.1).with_updates(drop_probability=0.2)
+        assert plan.drop_probability == 0.2
+
+
+class TestProfiles:
+    def test_registry_matches_core_choices(self):
+        assert set(FAULT_PROFILES) == set(FAULT_PROFILE_CHOICES)
+
+    def test_resolve_by_name_plan_and_none(self):
+        assert resolve_fault_plan("lossy") is FAULT_PROFILES["lossy"]
+        assert resolve_fault_plan(None).is_fault_free
+        plan = FaultPlan(drop_probability=0.3)
+        assert resolve_fault_plan(plan) is plan
+
+    def test_resolve_rejects_unknown_names_and_types(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            resolve_fault_plan("catastrophic")
+        with pytest.raises(TypeError):
+            resolve_fault_plan(3.14)
+
+
+class TestFaultInjector:
+    def test_decisions_are_pure_functions_of_seed_frame_attempt(self):
+        plan = FAULT_PROFILES["chaos"]
+        first = FaultInjector(plan, seed=42)
+        second = FaultInjector(plan, seed=42)
+        # Query in different orders: decisions must not depend on call order.
+        forward = [first.frame_faults(frame, 1) for frame in range(20)]
+        backward = [second.frame_faults(frame, 1) for frame in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        plan = FAULT_PROFILES["chaos"]
+        a = [FaultInjector(plan, seed=1).frame_faults(f, 1) for f in range(30)]
+        b = [FaultInjector(plan, seed=2).frame_faults(f, 1) for f in range(30)]
+        assert a != b
+
+    def test_attempts_reroll_faults(self):
+        plan = FaultPlan(drop_probability=0.5)
+        injector = FaultInjector(plan, seed=7)
+        decisions = {injector.frame_faults(3, attempt).drop for attempt in range(1, 30)}
+        assert decisions == {True, False}
+
+    def test_fault_free_plan_short_circuits(self):
+        faults = FaultInjector(FaultPlan(), seed=9).frame_faults(0, 1)
+        assert not (faults.drop or faults.duplicate or faults.corrupt)
+        assert faults.reorder_delay_s == 0.0
+        assert faults.jitter_s == 0.0
+
+    def test_station_decisions_are_stable_per_round(self):
+        plan = FaultPlan(straggler_probability=0.5, straggler_multiplier=4.0)
+        injector = FaultInjector(plan, seed=11)
+        multipliers = {
+            station: injector.straggler_multiplier(station)
+            for station in ("bs-0", "bs-1", "bs-2", "bs-3", "bs-4", "bs-5")
+        }
+        # Repeated queries agree (per-round stability) ...
+        for station, multiplier in multipliers.items():
+            assert injector.straggler_multiplier(station) == multiplier
+        # ... and with p=0.5 over six stations both outcomes appear.
+        assert set(multipliers.values()) == {1.0, 4.0}
+
+    def test_blackout_window_applies_per_station(self):
+        plan = FaultPlan(
+            blackout_probability=0.5, blackout_start_s=1.0, blackout_end_s=2.0
+        )
+        injector = FaultInjector(plan, seed=13)
+        windows = {
+            station: injector.blackout_window(station)
+            for station in ("bs-0", "bs-1", "bs-2", "bs-3", "bs-4", "bs-5")
+        }
+        assert set(windows.values()) == {None, (1.0, 2.0)}
+
+    def test_corrupt_bytes_always_changes_and_is_deterministic(self):
+        injector = FaultInjector(FaultPlan(corrupt_probability=1.0), seed=3)
+        data = bytes(range(50))
+        corrupted = injector.corrupt_bytes(data, 7, 1)
+        assert corrupted != data
+        assert corrupted == injector.corrupt_bytes(data, 7, 1)
+        assert injector.corrupt_bytes(b"", 7, 1) == b"\x00"
+
+    def test_seed_must_be_an_integer(self):
+        with pytest.raises(TypeError):
+            FaultInjector(FaultPlan(), seed="zero")

@@ -39,6 +39,45 @@ class TestCompareCommand:
         with pytest.raises(SystemExit):
             main(["compare", "--methods", "magic"])
 
+    def test_fault_profile_adds_reliability_columns(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--users-per-category", "4",
+                "--stations", "3",
+                "--queries", "2",
+                "--seed", "3",
+                "--methods", "naive", "wbf",
+                "--fault-profile", "chaos",
+                "--net-seed", "5",
+                "--allow-partial",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "faults: chaos (net seed 5)" in captured
+        assert "retransmits" in captured
+        assert "goodput" in captured
+
+    def test_fault_free_table_keeps_legacy_columns(self, capsys):
+        main(
+            [
+                "compare",
+                "--users-per-category", "4",
+                "--stations", "3",
+                "--queries", "2",
+                "--seed", "3",
+                "--methods", "wbf",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert "retransmits" not in captured
+        assert "faults:" not in captured
+
+    def test_rejects_unknown_fault_profile(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--fault-profile", "catastrophic"])
+
 
 class TestTable2Command:
     def test_runs_one_day(self, capsys):
