@@ -1,0 +1,92 @@
+"""Workload scenario benchmarks: the system under declared traffic shapes.
+
+Runs every registered scenario at its catalog size and persists one
+``BENCH_workload_<scenario>.json`` per scenario — per-round and cumulative
+bytes/latency/goodput/precision — plus a cross-scenario summary table.  These
+files are the perf-trajectory gate's inputs for the workload layer: CI reruns
+this module and compares the fresh JSON against ``benchmarks/baselines/``
+(see ``repro.evaluation.trajectory``).  All tracked quantities are
+deterministic functions of ``(scenario, seed)``; only the pytest-benchmark
+timing of the steady-state drive measures the machine.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_workloads.py
+"""
+
+import pytest
+from conftest import write_json_result, write_report
+
+from repro.evaluation.benchjson import workload_payload
+from repro.utils.asciiplot import render_table
+from repro.workloads import SCENARIOS, get_scenario, run_workload, scenario_names
+
+
+@pytest.fixture(scope="session")
+def scenario_results():
+    """Every catalog scenario run once at its declared size."""
+    return {name: run_workload(get_scenario(name)) for name in scenario_names()}
+
+
+def test_workload_engine_throughput(benchmark):
+    """Timing unit: one full steady-state drive at catalog size."""
+    result = benchmark.pedantic(
+        lambda: run_workload(get_scenario("steady-state")), rounds=1, iterations=1
+    )
+    assert result.round_count == SCENARIOS["steady-state"].rounds
+
+
+def test_scenario_catalog_trajectory(scenario_results):
+    """Persist every scenario's numbers and pin the catalog's shape claims."""
+    rows = []
+    for name, result in scenario_results.items():
+        write_json_result(
+            f"workload_{name.replace('-', '_')}", workload_payload(result)
+        )
+        stats = result.cumulative
+        rows.append(
+            [
+                name,
+                result.round_count,
+                result.total_queries,
+                result.total_bytes,
+                round(stats["latency_s"].p90, 4),
+                round(stats["precision"].mean, 4),
+                round(stats["goodput"].minimum, 4),
+            ]
+        )
+    report = render_table(
+        ["scenario", "rounds", "queries", "bytes", "latency p90", "precision", "goodput min"],
+        rows,
+    )
+    write_report("workload_scenarios", report)
+
+    results = scenario_results
+    # Flash crowds actually spike the per-round traffic ...
+    flash = results["flash-crowd"].cumulative["bytes"]
+    assert flash.maximum > 2 * flash.p50
+    # ... churn actually moves stations ...
+    assert any(
+        metrics.joined or metrics.left for metrics in results["churn-heavy"].rounds
+    )
+    # ... chaos costs retransmissions but never answers ...
+    degraded = results["degraded-network"]
+    assert sum(m.retransmit_count for m in degraded.rounds) > 0
+    assert degraded.cumulative["goodput"].minimum < 1.0
+    # ... and the clean steady state stays sharp (the residual gap is the
+    # WBF's decoy false positives, tracked exactly by the trajectory gate)
+    # at unit goodput.
+    steady = results["steady-state"].cumulative
+    assert steady["precision"].mean > 0.85
+    assert steady["goodput"].minimum == 1.0
+
+
+def test_session_drive_delta_advantage(benchmark):
+    """The long-session scenario's incremental drive ships far fewer bytes."""
+    spec = get_scenario("long-session")
+    session = benchmark.pedantic(
+        lambda: run_workload(spec, drive="session"), rounds=1, iterations=1
+    )
+    simulation = run_workload(spec, drive="simulation")
+    assert session.total_bytes < simulation.total_bytes
+    payload = workload_payload(session)
+    payload["simulation_drive_bytes"] = simulation.total_bytes
+    write_json_result("workload_long_session_deltas", payload)

@@ -59,6 +59,14 @@ try:
         run_comparison,
         sweep_query_counts,
     )
+    from repro.workloads import (
+        SCENARIOS,
+        WorkloadResult,
+        WorkloadSpec,
+        get_scenario,
+        run_workload,
+        scenario_names,
+    )
 
     HAS_DATAGEN = True
 except ImportError as _error:  # pragma: no cover - covered by the no-NumPy CI leg
@@ -110,4 +118,10 @@ if HAS_DATAGEN:
         "evaluate_retrieval",
         "run_comparison",
         "sweep_query_counts",
+        "SCENARIOS",
+        "WorkloadResult",
+        "WorkloadSpec",
+        "get_scenario",
+        "run_workload",
+        "scenario_names",
     ]

@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
-from repro.core.config import DIMatchingConfig, EXECUTOR_CHOICES, FAULT_PROFILE_CHOICES
+from repro.core.config import (
+    DIMatchingConfig,
+    EXECUTOR_CHOICES,
+    FAULT_PROFILE_CHOICES,
+    WORKLOAD_DRIVE_CHOICES,
+)
 from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
 from repro.evaluation.experiments import (
     convergence_study,
@@ -35,6 +41,7 @@ from repro.evaluation.reporting import (
     format_effectiveness_table,
 )
 from repro.utils.asciiplot import render_cdf, render_line_chart, render_table
+from repro.workloads import get_scenario, run_workload, scenario_names, SCENARIOS
 
 
 def _non_negative_int(text: str) -> int:
@@ -42,6 +49,14 @@ def _non_negative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0 (0 = auto), got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be at least 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
 
 
@@ -115,6 +130,68 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = subparsers.add_parser("figure", help="Reproduce a descriptive figure.")
     figure.add_argument("name", choices=["fig1a", "fig1b", "fig3"])
     figure.add_argument("--seed", type=int, default=5)
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="Run or list the named multi-round traffic scenarios (repro.workloads).",
+    )
+    workload_sub = workload.add_subparsers(dest="workload_command", required=True)
+
+    workload_sub.add_parser(
+        "list", help="Print the scenario catalog with each spec's shape."
+    )
+
+    run = workload_sub.add_parser(
+        "run",
+        help="Replay one scenario; (scenario, seed) fully determines the run.",
+    )
+    run.add_argument("scenario", choices=list(scenario_names()))
+    run.add_argument(
+        "--rounds", type=_positive_int, default=None,
+        help="Override the scenario's round count.",
+    )
+    run.add_argument(
+        "--stations", type=_positive_int, default=None,
+        help="Override the scenario's station count.",
+    )
+    run.add_argument(
+        "--users-per-category", type=_positive_int, default=None,
+        help="Override the synthetic population density.",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None,
+        help="Override the scenario seed (the replay identity is (scenario, seed)).",
+    )
+    run.add_argument(
+        "--drive", default="simulation", choices=list(WORKLOAD_DRIVE_CHOICES),
+        help="simulation = full wire rounds; session = incremental deltas "
+        "through a continuous matching session.",
+    )
+    run.add_argument(
+        "--executor", default="serial", choices=list(EXECUTOR_CHOICES),
+        help="Station-execution backend (wall-clock only; the transcript is "
+        "executor-invariant).",
+    )
+    run.add_argument(
+        "--shards", type=_non_negative_int, default=0,
+        help="Station shards for the executor (0 = auto).",
+    )
+    run.add_argument(
+        "--bit-backend", default="auto", choices=["auto", "python", "numpy"],
+        help="Bit-storage backend for the filters (results are backend-invariant).",
+    )
+    run.add_argument(
+        "--fault-profile", default=None, choices=list(FAULT_PROFILE_CHOICES),
+        help="Override the scenario's paired fault profile.",
+    )
+    run.add_argument(
+        "--allow-partial", action="store_true",
+        help="Let simulation-drive rounds survive station timeouts.",
+    )
+    run.add_argument(
+        "--json-dir", default=None,
+        help="Also write the run as BENCH_workload_<scenario>.json under this directory.",
+    )
 
     return parser
 
@@ -237,6 +314,131 @@ def _run_figure(args: argparse.Namespace) -> str:
     )
 
 
+def _run_workload_list(_args: argparse.Namespace) -> str:
+    rows = []
+    for name in scenario_names():
+        spec = SCENARIOS[name]
+        churn = (
+            "static"
+            if spec.churn.is_static
+            else f"leave {spec.churn.leave_probability:g} / join {spec.churn.join_probability:g}"
+        )
+        rows.append(
+            [
+                name,
+                spec.rounds,
+                spec.station_count,
+                spec.arrival.kind,
+                churn,
+                f"{spec.mix.zipf_s:g}",
+                spec.fault_profile,
+                spec.seed,
+            ]
+        )
+    columns = [
+        "scenario", "rounds", "stations", "arrival", "churn", "zipf s", "faults", "seed",
+    ]
+    table = render_table(columns, rows)
+    descriptions = "\n".join(
+        f"  {name}: {SCENARIOS[name].description}" for name in scenario_names()
+    )
+    return f"{table}\n{descriptions}"
+
+
+def _run_workload_run(args: argparse.Namespace) -> str:
+    if args.drive == "session" and (args.executor != "serial" or args.shards):
+        raise SystemExit(
+            "workload run: --executor/--shards apply only to --drive simulation "
+            "(the session drive matches in-process)"
+        )
+    spec = get_scenario(args.scenario)
+    overrides: dict[str, object] = {}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.stations is not None:
+        overrides["station_count"] = args.stations
+        # Scaling a churny scenario below its floor clamps the floor with it.
+        if spec.churn.min_active > args.stations:
+            overrides["churn"] = replace(spec.churn, min_active=args.stations)
+    if args.users_per_category is not None:
+        overrides["users_per_category"] = args.users_per_category
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.fault_profile is not None:
+        overrides["fault_profile"] = args.fault_profile
+    if args.allow_partial:
+        overrides["allow_partial"] = True
+    if overrides:
+        spec = spec.with_updates(**overrides)
+
+    result = run_workload(
+        spec,
+        drive=args.drive,
+        executor=args.executor,
+        shard_count=args.shards,
+        bit_backend=args.bit_backend,
+    )
+
+    faulty = spec.fault_profile != "none"
+    columns = [
+        "round", "queries", "stations", "joined", "left",
+        "down B", "up B", "latency s", "precision", "recall",
+    ]
+    if faulty:
+        columns += ["retransmits", "goodput", "lost"]
+    rows = []
+    for metrics in result.rounds:
+        row = [
+            metrics.round_index,
+            metrics.query_count,
+            metrics.active_station_count,
+            len(metrics.joined),
+            len(metrics.left),
+            metrics.downlink_bytes,
+            metrics.uplink_bytes,
+            round(metrics.latency_s, 4),
+            round(metrics.precision, 4),
+            round(metrics.recall, 4),
+        ]
+        if faulty:
+            row += [
+                metrics.retransmit_count,
+                round(metrics.goodput_fraction, 4),
+                metrics.lost_station_count,
+            ]
+        rows.append(row)
+    header = (
+        f"scenario: {spec.name} (seed {spec.seed}, drive {args.drive}, "
+        f"method {spec.method}, faults {spec.fault_profile}); "
+        f"{result.round_count} rounds, {result.total_queries} queries, "
+        f"{result.total_bytes} bytes"
+    )
+    summary_lines = []
+    for name in ("bytes", "latency_s", "precision", "goodput"):
+        stat = result.cumulative[name]
+        summary_lines.append(
+            f"  {name}: mean {stat.mean:.4g}  p50 {stat.p50:.4g}  "
+            f"p90 {stat.p90:.4g}  p99 {stat.p99:.4g}  max {stat.maximum:.4g}"
+        )
+    output = f"{header}\n{render_table(columns, rows)}\n" + "\n".join(summary_lines)
+    if args.json_dir is not None:
+        from repro.evaluation.benchjson import workload_payload, write_bench_json
+
+        path = write_bench_json(
+            args.json_dir,
+            f"workload_{spec.name.replace('-', '_')}",
+            workload_payload(result),
+        )
+        output += f"\nwrote {path}"
+    return output
+
+
+def _run_workload(args: argparse.Namespace) -> str:
+    if args.workload_command == "list":
+        return _run_workload_list(args)
+    return _run_workload_run(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse arguments, run the requested experiment, print its report."""
     parser = _build_parser()
@@ -246,6 +448,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table2": _run_table2,
         "convergence": _run_convergence,
         "figure": _run_figure,
+        "workload": _run_workload,
     }
     output = runners[args.command](args)
     print(output)

@@ -38,6 +38,15 @@ FAULT_PROFILE_CHOICES = (
     "chaos",
 )
 
+#: Drive modes of the declarative workload engine (:mod:`repro.workloads`):
+#: "simulation" replays every round through the full event-driven transport
+#: (:class:`~repro.distributed.simulator.DistributedSimulation`), "session"
+#: drives an incremental :class:`~repro.core.streaming.ContinuousMatchingSession`
+#: and ships only per-round deltas.  Like the fault-profile names above, the
+#: choices live in the dependency-light core so the CLI and configuration
+#: validation never have to import the engine.
+WORKLOAD_DRIVE_CHOICES = ("simulation", "session")
+
 
 @dataclass(frozen=True)
 class DIMatchingConfig:

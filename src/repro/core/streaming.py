@@ -44,8 +44,12 @@ class ContinuousMatchingSession:
         self._queries = tuple(queries)
         self._artifact = protocol.encode(list(queries))
         self._reports_by_station: dict[str, list[object]] = {}
+        # The last pattern set each station reported, kept so a query-batch
+        # rotation (replace_queries) can re-match every station in place.
+        self._patterns_by_station: dict[str, PatternSet] = {}
         self._update_count = 0
         self._matching_runs = 0
+        self._batch_encodings = 1
         # Wire-delta state: stations changed since the last collect_deltas(),
         # in update order, plus per-station encoded payload caches.
         self._dirty: dict[str, None] = {}
@@ -85,6 +89,11 @@ class ContinuousMatchingSession:
         """Number of per-station matching executions performed (cache misses)."""
         return self._matching_runs
 
+    @property
+    def batch_encodings(self) -> int:
+        """Number of query-batch encodings performed (1 + replace_queries calls)."""
+        return self._batch_encodings
+
     # -- updates ---------------------------------------------------------------
 
     def update_station(self, station_id: str, patterns: PatternSet) -> int:
@@ -99,6 +108,7 @@ class ContinuousMatchingSession:
         reports = self._protocol.station_match(station_id, patterns, self._artifact)
         key = str(station_id)
         self._reports_by_station[key] = list(reports)
+        self._patterns_by_station[key] = patterns
         self._update_count += 1
         self._matching_runs += 1
         self._dirty[key] = None
@@ -109,9 +119,32 @@ class ContinuousMatchingSession:
         """Drop a station's cached reports (e.g. the station went offline)."""
         key = str(station_id)
         self._reports_by_station.pop(key, None)
+        self._patterns_by_station.pop(key, None)
         self._update_count += 1
         self._dirty.pop(key, None)
         self._encoded_reports.pop(key, None)
+
+    def replace_queries(self, queries: Sequence[QueryPattern]) -> None:
+        """Rotate the session to a new query batch, re-matching every station.
+
+        A long-running monitoring deployment does not answer one batch forever:
+        campaigns end and new ones arrive.  Rotation re-encodes the artifact
+        once, re-runs the matching phase of every station whose patterns the
+        session has seen (their stored pattern sets are retained across
+        updates), and marks them all dirty — the next
+        :meth:`collect_deltas`/:meth:`ship_deltas` re-ships the whole round,
+        exactly as a real redeployment would after a fresh dissemination.
+        """
+        require_non_empty(queries, "queries")
+        self._queries = tuple(queries)
+        self._artifact = self._protocol.encode(list(queries))
+        self._batch_encodings += 1
+        for key, patterns in self._patterns_by_station.items():
+            reports = self._protocol.station_match(key, patterns, self._artifact)
+            self._reports_by_station[key] = list(reports)
+            self._matching_runs += 1
+            self._dirty[key] = None
+            self._encoded_reports.pop(key, None)
 
     # -- wire deltas -------------------------------------------------------------
 

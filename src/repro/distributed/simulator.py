@@ -172,7 +172,9 @@ class DistributedSimulation:
             self._runners[key] = runner
         return runner
 
-    def _network_for(self, protocol: MatchingProtocol) -> SimulatedNetwork:
+    def _network_for(
+        self, protocol: MatchingProtocol, net_seed: int | None = None
+    ) -> SimulatedNetwork:
         """Fresh per-round transport, faults resolved like the executor knobs."""
         config = getattr(protocol, "config", None)
         plan = resolve_fault_plan(
@@ -180,9 +182,12 @@ class DistributedSimulation:
             if self._fault_plan is not None
             else getattr(config, "fault_profile", "none")
         )
-        net_seed = (
-            self._net_seed if self._net_seed is not None else getattr(config, "net_seed", 0)
-        )
+        if net_seed is None:
+            net_seed = (
+                self._net_seed
+                if self._net_seed is not None
+                else getattr(config, "net_seed", 0)
+            )
         return SimulatedNetwork(
             self._network_config,
             fault_plan=plan,
@@ -203,19 +208,48 @@ class DistributedSimulation:
     def __exit__(self, *_exc_info: object) -> None:
         self.close()
 
+    def _participants(self, station_ids: Sequence[str] | None) -> list[BaseStationNode]:
+        """Resolve one round's participating stations (``None`` = all of them).
+
+        ``station_ids`` is how a multi-round driver models churn: a station
+        absent from the round's set neither receives the artifact nor uploads
+        a report, exactly like a cell that joined the network after the round
+        or left before it.  Ids must name dataset stations; ids of stations
+        that store no patterns are tolerated (they never participate anyway).
+        """
+        if station_ids is None:
+            return self._stations
+        wanted = {str(station_id) for station_id in station_ids}
+        unknown = wanted - set(self._dataset.station_ids)
+        if unknown:
+            raise ValueError(
+                f"unknown station ids {sorted(unknown)!r}; "
+                f"expected a subset of the dataset's stations"
+            )
+        return [station for station in self._stations if station.node_id in wanted]
+
     def run(
         self,
         protocol: MatchingProtocol,
         queries: Sequence[QueryPattern],
         k: int | None = None,
+        *,
+        station_ids: Sequence[str] | None = None,
+        net_seed: int | None = None,
     ) -> SimulationOutcome:
         """Execute one full matching round and return results plus costs.
 
-        Raises :class:`~repro.distributed.events.RoundTimeoutError` when a
-        transfer cannot be delivered within the retransmission budget and the
+        ``station_ids`` restricts the round to a subset of stations (churn:
+        joined/left stations between rounds of a multi-round workload);
+        ``net_seed`` overrides the transport seed for this round only, so a
+        workload driver can derive one deterministic seed per round from a
+        single scenario seed.  Raises
+        :class:`~repro.distributed.events.RoundTimeoutError` when a transfer
+        cannot be delivered within the retransmission budget and the
         simulation was not constructed with ``allow_partial=True``.
         """
-        network = self._network_for(protocol)
+        participants = self._participants(station_ids)
+        network = self._network_for(protocol, net_seed)
         self._center.clear_inbox()
         for station in self._stations:
             station.clear_inbox()
@@ -227,7 +261,7 @@ class DistributedSimulation:
         encode_time = time.perf_counter() - encode_start
 
         downlink_sends: list[tuple[Message, BaseStationNode]] = []
-        for station in self._stations:
+        for station in participants:
             message = Message(
                 sender=self._center.node_id,
                 recipient=station.node_id,
@@ -243,7 +277,7 @@ class DistributedSimulation:
             downlink_sends.append((message, station))
         downlink = network.broadcast(downlink_sends)
         lost_stations = set(downlink.failed_ids)
-        active_stations = [s for s in self._stations if s.node_id not in lost_stations]
+        active_stations = [s for s in participants if s.node_id not in lost_stations]
 
         # The matching phase runs against what actually crossed the wire: the
         # artifact one surviving station decoded.  All surviving copies are

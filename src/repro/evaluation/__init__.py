@@ -16,6 +16,12 @@ from repro.evaluation.experiments import (
     run_comparison,
     sweep_query_counts,
 )
+from repro.evaluation.benchjson import (
+    comparison_sweep_payload,
+    read_bench_json,
+    workload_payload,
+    write_bench_json,
+)
 from repro.evaluation.figures import (
     accumulated_category_series,
     category_mean_series,
@@ -57,4 +63,8 @@ __all__ = [
     "format_comparison_sweep",
     "format_convergence_table",
     "format_effectiveness_table",
+    "comparison_sweep_payload",
+    "read_bench_json",
+    "workload_payload",
+    "write_bench_json",
 ]

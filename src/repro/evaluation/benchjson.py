@@ -68,6 +68,25 @@ def comparison_sweep_payload(
     return payload
 
 
+def workload_payload(result) -> dict:
+    """One JSON-ready payload for a multi-round workload run.
+
+    ``result`` is a :class:`repro.workloads.result.WorkloadResult` (accepted
+    duck-typed so this dependency-light module never imports the engine): the
+    payload carries the per-round rows, the cumulative percentile summaries
+    and the run identity, which is everything the perf-trajectory gate and
+    the bench-trajectory tooling consume.
+    """
+    payload = result.to_payload()
+    for key in ("scenario", "rounds", "cumulative", "totals"):
+        if key not in payload:
+            raise ValueError(
+                f"workload payload is missing required key {key!r}; "
+                "expected a WorkloadResult-shaped object"
+            )
+    return payload
+
+
 def write_bench_json(directory: "Path | str", name: str, payload: dict) -> Path:
     """Persist ``payload`` as ``BENCH_<name>.json`` under ``directory``.
 

@@ -1,0 +1,42 @@
+"""Declarative workload engine: seeded traffic scenarios over the simulator.
+
+A :class:`WorkloadSpec` declares a multi-round traffic shape — station churn,
+query arrival process, mix skew, fault pairing — and :func:`run_workload`
+compiles it into an actual drive of the distributed system, producing a
+:class:`WorkloadResult` whose per-round metrics, cumulative percentiles and
+replayable transcript are all pure functions of ``(scenario, seed)``.  The
+named catalog lives in :data:`SCENARIOS`.
+"""
+
+from repro.workloads.engine import run_workload
+from repro.workloads.result import (
+    RoundMetrics,
+    StatSummary,
+    StreamingStat,
+    WorkloadAggregator,
+    WorkloadResult,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.workloads.spec import ArrivalProcess, ChurnProcess, QueryMix, WorkloadSpec
+
+__all__ = [
+    "ArrivalProcess",
+    "ChurnProcess",
+    "QueryMix",
+    "RoundMetrics",
+    "SCENARIOS",
+    "StatSummary",
+    "StreamingStat",
+    "WorkloadAggregator",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "get_scenario",
+    "register_scenario",
+    "run_workload",
+    "scenario_names",
+]

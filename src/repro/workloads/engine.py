@@ -1,0 +1,393 @@
+"""The workload engine: compile a :class:`WorkloadSpec` into a multi-round drive.
+
+Two drive modes (``repro.core.config.WORKLOAD_DRIVE_CHOICES``):
+
+* ``simulation`` — every round is a full
+  :class:`~repro.distributed.simulator.DistributedSimulation` round: the
+  round's query batch is encoded, broadcast to the round's *active* stations
+  (churn = per-round ``station_ids`` subsets), matched under the configured
+  executor and uploaded through the event-driven transport.  Costs are the
+  real per-round wire bytes.
+* ``session`` — one long-running
+  :class:`~repro.core.streaming.ContinuousMatchingSession` spans all rounds:
+  query-batch rotations re-encode the artifact, churned stations are
+  updated/removed incrementally, and only the dirty stations' deltas ship
+  through a per-round :class:`~repro.distributed.network.SimulatedNetwork`.
+  This is the steady-state serving model, where per-round traffic is the
+  *delta*, not the whole round.
+
+Determinism: every stochastic decision of a run — the synthetic city, each
+round's query sample, the churn draws and the transport's fault schedule —
+derives from ``(spec.name, spec.seed)`` via :func:`repro.utils.rng.derive_seed`
+with a distinct label per process and round.  The resulting
+:meth:`~repro.workloads.result.WorkloadResult.transcript_bytes` is therefore
+byte-identical across runs and across station executors; the replay suite
+under ``tests/workloads/`` pins this for every registered scenario.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.config import DIMatchingConfig, WORKLOAD_DRIVE_CHOICES
+from repro.core.streaming import ContinuousMatchingSession
+from repro.datagen.workload import DatasetSpec, DistributedDataset, build_dataset
+from repro.distributed.datacenter import DataCenterNode
+from repro.distributed.faults import resolve_fault_plan
+from repro.distributed.network import NetworkConfig, SimulatedNetwork
+from repro.distributed.simulator import DistributedSimulation, _artifact_size_bytes
+from repro.evaluation.experiments import ground_truth_users, make_protocols
+from repro.evaluation.metrics import evaluate_retrieval
+from repro.timeseries.query import QueryPattern
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.result import RoundMetrics, WorkloadAggregator, WorkloadResult
+from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import MatchingProtocol
+
+
+def _round_net_seed(spec: WorkloadSpec, round_index: int) -> int:
+    """The transport seed of one round — pure function of ``(name, seed, round)``."""
+    return derive_seed(spec.seed, "workload-net", spec.name, round_index)
+
+
+class _ChurnState:
+    """Deterministic station membership across rounds.
+
+    Stations are iterated in sorted order and every draw comes from a
+    per-round RNG derived from the workload identity, so the membership
+    schedule is independent of dict ordering, executors and call timing.
+    """
+
+    def __init__(self, spec: WorkloadSpec, station_ids: Sequence[str]) -> None:
+        self._spec = spec
+        self._all = sorted(str(station_id) for station_id in station_ids)
+        self._active = list(self._all)
+
+    @property
+    def active(self) -> tuple[str, ...]:
+        """The currently active stations, in sorted order."""
+        return tuple(self._active)
+
+    def step(self, round_index: int) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Advance to ``round_index`` and return ``(joined, left)``.
+
+        Round 0 never churns: every workload starts from the full deployment,
+        so the first round's transcript anchors the scenario.
+        """
+        churn = self._spec.churn
+        if round_index == 0 or churn.is_static and churn.join_probability == 1.0:
+            return ((), ())
+        rng = make_rng(
+            self._spec.seed, "workload-churn", self._spec.name, round_index
+        )
+        joined: list[str] = []
+        left: list[str] = []
+        active = set(self._active)
+        for station_id in self._all:
+            draw = float(rng.random())
+            if station_id in active:
+                if draw < churn.leave_probability:
+                    left.append(station_id)
+            elif draw < churn.join_probability:
+                joined.append(station_id)
+        survivors = [s for s in self._active if s not in set(left)]
+        # Keep at least min_active stations up by reviving leavers, in
+        # sorted station order (the order `left` was collected in).
+        while len(survivors) + len(joined) < churn.min_active and left:
+            revived = left.pop(0)
+            survivors = [s for s in self._all if s in set(survivors) | {revived}]
+        self._active = sorted(set(survivors) | set(joined))
+        return (tuple(joined), tuple(left))
+
+
+class _QuerySampler:
+    """Seeded, optionally Zipf-skewed exemplar sampling.
+
+    The hot-set *order* is drawn once from the workload identity (a seeded
+    permutation of the sorted non-decoy user pool); per-round draws then pick
+    ranks with weight ``1 / (rank + 1)^s``.  ``s = 0`` is uniform.
+    """
+
+    def __init__(self, spec: WorkloadSpec, dataset: DistributedDataset) -> None:
+        self._spec = spec
+        self._dataset = dataset
+        pool = [
+            user_id
+            for user_id in sorted(dataset.user_ids)
+            if not dataset.profile(user_id).is_decoy
+        ]
+        mix = spec.mix
+        if mix.categories is not None:
+            wanted = set(mix.categories)
+            unknown = wanted - {dataset.category_of(u) for u in pool}
+            if unknown:
+                raise ValueError(
+                    f"query mix names unknown categories {sorted(unknown)!r}"
+                )
+            pool = [u for u in pool if dataset.category_of(u) in wanted]
+        if not pool:
+            raise ValueError("query mix selects no exemplar users")
+        order_rng = make_rng(spec.seed, "workload-hotset", spec.name)
+        order = order_rng.permutation(len(pool))
+        self._pool = [pool[int(index)] for index in order]
+        if mix.zipf_s > 0.0:
+            weights = [1.0 / float(rank + 1) ** mix.zipf_s for rank in range(len(pool))]
+            total = sum(weights)
+            self._weights = [w / total for w in weights]
+        else:
+            self._weights = None
+
+    def sample(self, round_index: int, count: int) -> list[QueryPattern]:
+        """The round's query batch: ``count`` exemplar-derived query patterns."""
+        rng = make_rng(
+            self._spec.seed, "workload-queries", self._spec.name, round_index
+        )
+        indices = rng.choice(
+            len(self._pool), size=count, replace=True, p=self._weights
+        )
+        queries = []
+        for position, index in enumerate(indices):
+            user_id = self._pool[int(index)]
+            queries.append(
+                QueryPattern(
+                    f"q{round_index:03d}-{position:03d}-{user_id}",
+                    self._dataset.local_patterns_for(user_id),
+                )
+            )
+        return queries
+
+
+def _build_environment(spec: WorkloadSpec, bit_backend: str):
+    """Dataset + config + protocol shared by both drives."""
+    dataset = build_dataset(
+        DatasetSpec(
+            users_per_category=spec.users_per_category,
+            station_count=spec.station_count,
+            days=spec.days,
+            intervals_per_day=spec.intervals_per_day,
+            noise_level=spec.noise_level,
+            seed=derive_seed(spec.seed, "workload-dataset", spec.name),
+        )
+    )
+    config = DIMatchingConfig(
+        epsilon=spec.epsilon,
+        bit_backend=bit_backend,
+        fault_profile=spec.fault_profile,
+    )
+    protocol = make_protocols(config, float(spec.epsilon), (spec.method,))[0]
+    return dataset, config, protocol
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    *,
+    drive: str = "simulation",
+    executor: str | None = None,
+    shard_count: int | None = None,
+    bit_backend: str = "auto",
+    network_config: NetworkConfig | None = None,
+) -> WorkloadResult:
+    """Compile ``spec`` into a multi-round drive and run it to completion.
+
+    ``executor`` / ``shard_count`` / ``bit_backend`` are local scale knobs:
+    like everywhere else in the system they change wall-clock only, never the
+    results, byte counts or the replayed transcript.
+    """
+    if drive not in WORKLOAD_DRIVE_CHOICES:
+        raise ValueError(
+            f"drive must be one of {WORKLOAD_DRIVE_CHOICES}, got {drive!r}"
+        )
+    dataset, config, protocol = _build_environment(spec, bit_backend)
+    sampler = _QuerySampler(spec, dataset)
+    aggregator = WorkloadAggregator(
+        scenario=spec.name,
+        seed=spec.seed,
+        drive=drive,
+        method=spec.method,
+        fault_profile=spec.fault_profile,
+        # The session drive matches in-process and never constructs an
+        # executor runner; recording the knob there would misstate the run.
+        executor=(executor or "serial") if drive == "simulation" else "serial",
+    )
+    if drive == "simulation":
+        _drive_simulation(
+            spec, dataset, protocol, sampler, aggregator,
+            executor=executor, shard_count=shard_count,
+            network_config=network_config,
+        )
+    else:
+        _drive_session(
+            spec, dataset, config, protocol, sampler, aggregator,
+            network_config=network_config,
+        )
+    return aggregator.finish()
+
+
+def _drive_simulation(
+    spec: WorkloadSpec,
+    dataset: DistributedDataset,
+    protocol: "MatchingProtocol",
+    sampler: _QuerySampler,
+    aggregator: WorkloadAggregator,
+    executor: str | None,
+    shard_count: int | None,
+    network_config: NetworkConfig | None,
+) -> None:
+    """Full per-round simulation rounds over churned station subsets."""
+    with DistributedSimulation(
+        dataset,
+        network_config,
+        executor=executor,
+        shard_count=shard_count,
+        fault_plan=spec.fault_profile,
+        allow_partial=spec.allow_partial,
+    ) as simulation:
+        churn = _ChurnState(spec, [s.node_id for s in simulation.stations])
+        queries: list[QueryPattern] = []
+        truth: frozenset[str] = frozenset()
+        for round_index in range(spec.rounds):
+            joined, left = churn.step(round_index)
+            refreshed = spec.arrival.refreshes_at(round_index)
+            if refreshed:
+                queries = sampler.sample(
+                    round_index, spec.arrival.count_at(round_index)
+                )
+                # Ground truth is a pure function of the batch: recompute
+                # only on rotation, not per round.
+                truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+            outcome = simulation.run(
+                protocol,
+                queries,
+                k=len(truth),
+                station_ids=churn.active,
+                net_seed=_round_net_seed(spec, round_index),
+            )
+            metrics = evaluate_retrieval(tuple(outcome.retrieved_user_ids), truth)
+            costs = outcome.costs
+            aggregator.add_round(
+                RoundMetrics(
+                    round_index=round_index,
+                    query_count=len(queries),
+                    active_station_count=len(churn.active),
+                    joined=joined,
+                    left=left,
+                    downlink_bytes=costs.downlink_bytes,
+                    uplink_bytes=costs.uplink_bytes,
+                    precision=metrics.precision,
+                    recall=metrics.recall,
+                    latency_s=costs.transmission_time_s,
+                    goodput_fraction=costs.goodput_fraction,
+                    retransmit_count=costs.retransmit_count,
+                    lost_station_count=costs.lost_station_count,
+                    batch_refreshed=refreshed,
+                    compute_time_s=costs.computation_time_s,
+                ),
+                outcome.transcript,
+            )
+
+
+def _drive_session(
+    spec: WorkloadSpec,
+    dataset: DistributedDataset,
+    config: DIMatchingConfig,
+    protocol: "MatchingProtocol",
+    sampler: _QuerySampler,
+    aggregator: WorkloadAggregator,
+    network_config: NetworkConfig | None,
+) -> None:
+    """One continuous session across all rounds, shipping only deltas.
+
+    Downlink is charged when the artifact changes (batch rotation — the
+    re-encoded artifact's wire size once per active station) and for every
+    station that joins mid-campaign (it must receive the current artifact
+    before it can match).  Uplink is the real wire bytes of the round's delta
+    shipment through the seeded transport, and the ranking the round reports
+    is computed from the reports the *center actually decoded off the wire* —
+    an undelivered delta (the station stays dirty and retries next round)
+    leaves the center serving the previous state, exactly like a real
+    deployment, and is visible in the round's precision/recall.
+    """
+    churn = _ChurnState(
+        spec,
+        [
+            station_id
+            for station_id in dataset.station_ids
+            if len(dataset.local_patterns_at(station_id)) > 0
+        ],
+    )
+    center = DataCenterNode()
+    session: ContinuousMatchingSession | None = None
+    queries: list[QueryPattern] = []
+    truth: frozenset[str] = frozenset()
+    artifact_bytes = 0
+    # The center's view: the last delta each station *delivered* (stations
+    # administratively removed by churn are dropped from it).
+    delivered_reports: dict[str, list[object]] = {}
+    for round_index in range(spec.rounds):
+        joined, left = churn.step(round_index)
+        refreshed = spec.arrival.refreshes_at(round_index)
+        if refreshed:
+            queries = sampler.sample(round_index, spec.arrival.count_at(round_index))
+            truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+        if session is None:
+            session = ContinuousMatchingSession(protocol, queries)
+            artifact_bytes = _artifact_size_bytes(session.artifact)
+            for station_id in churn.active:
+                session.update_station(
+                    station_id, dataset.local_patterns_at(station_id)
+                )
+        else:
+            # Departures first, so a simultaneous rotation never re-matches
+            # stations that are leaving this round anyway.
+            for station_id in left:
+                session.remove_station(station_id)
+                delivered_reports.pop(station_id, None)
+            if refreshed:
+                session.replace_queries(queries)
+                artifact_bytes = _artifact_size_bytes(session.artifact)
+            for station_id in joined:
+                session.update_station(
+                    station_id, dataset.local_patterns_at(station_id)
+                )
+        if refreshed:
+            downlink_bytes = artifact_bytes * len(churn.active)
+        else:
+            downlink_bytes = artifact_bytes * len(joined)
+        network = SimulatedNetwork(
+            network_config or NetworkConfig(),
+            fault_plan=resolve_fault_plan(spec.fault_profile),
+            seed=_round_net_seed(spec, round_index),
+            decode_backend=config.bit_backend,
+            allow_partial=spec.allow_partial,
+        )
+        center.clear_inbox()
+        session.ship_deltas(network, center)
+        for sender, reports in center.reports_by_sender().items():
+            delivered_reports[sender] = list(reports)
+        results = protocol.aggregate(
+            [report for reports in delivered_reports.values() for report in reports],
+            len(truth),
+        )
+        metrics = evaluate_retrieval(tuple(results.user_ids()), truth)
+        stats = network.frame_stats()
+        aggregator.add_round(
+            RoundMetrics(
+                round_index=round_index,
+                query_count=len(queries),
+                active_station_count=len(churn.active),
+                joined=joined,
+                left=left,
+                downlink_bytes=downlink_bytes,
+                uplink_bytes=network.uplink_bytes,
+                precision=metrics.precision,
+                recall=metrics.recall,
+                latency_s=network.transmission_time_s(),
+                goodput_fraction=stats.goodput_fraction,
+                retransmit_count=stats.retransmit_count,
+                lost_station_count=len(session.dirty_station_ids),
+                batch_refreshed=refreshed,
+            ),
+            network.transcript,
+        )

@@ -1,0 +1,267 @@
+"""Streaming aggregation of multi-round workload runs.
+
+The engine feeds one :class:`RoundMetrics` (plus the round's event
+transcript) at a time into a :class:`WorkloadAggregator`; cumulative
+statistics are maintained as running :class:`StreamingStat` accumulators so a
+long workload never re-scans its history.  :meth:`WorkloadAggregator.finish`
+freezes everything into a :class:`WorkloadResult`, whose
+:meth:`~WorkloadResult.transcript_bytes` is the workload-level replay token
+(the concatenation of every round's canonical transcript under a round
+header) and whose :meth:`~WorkloadResult.to_payload` is the JSON shape
+emitted through :func:`repro.evaluation.benchjson.workload_payload`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import asdict, dataclass, field
+
+from repro.distributed.events import TranscriptEntry, transcript_to_bytes
+
+#: Percentiles every cumulative statistic reports, in emission order.
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """Frozen summary of one streamed quantity."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+
+class StreamingStat:
+    """Running aggregate of one per-round quantity.
+
+    Values are kept in sorted order (insertion is O(n), fine for the
+    round-count scale) so cumulative percentile snapshots are available after
+    every round, not only at the end; count/total/min/max are O(1) running
+    fields.  Percentiles use the nearest-rank definition, which is exact and
+    needs no interpolation.
+    """
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self._total = 0.0
+
+    def push(self, value: float) -> None:
+        """Fold one round's value into the aggregate."""
+        number = float(value)
+        bisect.insort(self._sorted, number)
+        self._total += number
+
+    @property
+    def count(self) -> int:
+        """Number of values pushed so far."""
+        return len(self._sorted)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` (0 < q <= 100) of the pushed values."""
+        if not self._sorted:
+            raise ValueError("cannot take a percentile of an empty stream")
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be within (0, 100], got {q!r}")
+        rank = max(1, -(-len(self._sorted) * q // 100))  # ceil without floats
+        return self._sorted[int(rank) - 1]
+
+    def summary(self) -> StatSummary:
+        """Freeze the current cumulative aggregate."""
+        if not self._sorted:
+            raise ValueError("cannot summarize an empty stream")
+        return StatSummary(
+            count=len(self._sorted),
+            total=self._total,
+            mean=self._total / len(self._sorted),
+            minimum=self._sorted[0],
+            maximum=self._sorted[-1],
+            p50=self.percentile(50),
+            p90=self.percentile(90),
+            p99=self.percentile(99),
+        )
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Everything one workload round reports upward.
+
+    ``latency_s`` is the round's *virtual* transmission time (deterministic
+    under the seed contract); the wall-clock compute fields live in
+    ``compute_time_s`` and are excluded from replay comparisons and from the
+    perf-trajectory headline metrics.
+    """
+
+    round_index: int
+    query_count: int
+    active_station_count: int
+    joined: tuple[str, ...]
+    left: tuple[str, ...]
+    downlink_bytes: int
+    uplink_bytes: int
+    precision: float
+    recall: float
+    latency_s: float
+    goodput_fraction: float
+    retransmit_count: int
+    lost_station_count: int
+    batch_refreshed: bool
+    compute_time_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Downlink plus uplink bytes of the round."""
+        return self.downlink_bytes + self.uplink_bytes
+
+
+#: The per-round quantities aggregated cumulatively, with their extractors.
+_STREAMED_QUANTITIES = {
+    "bytes": lambda metrics: float(metrics.total_bytes),
+    "latency_s": lambda metrics: metrics.latency_s,
+    "goodput": lambda metrics: metrics.goodput_fraction,
+    "precision": lambda metrics: metrics.precision,
+    "recall": lambda metrics: metrics.recall,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """The frozen outcome of one workload run."""
+
+    scenario: str
+    seed: int
+    drive: str
+    method: str
+    fault_profile: str
+    executor: str
+    rounds: tuple[RoundMetrics, ...]
+    cumulative: dict[str, StatSummary]
+    transcripts: tuple[bytes, ...] = field(repr=False, default=())
+
+    @property
+    def round_count(self) -> int:
+        """Number of rounds the workload ran."""
+        return len(self.rounds)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved across every round."""
+        return sum(metrics.total_bytes for metrics in self.rounds)
+
+    @property
+    def total_queries(self) -> int:
+        """All queries served across every round."""
+        return sum(metrics.query_count for metrics in self.rounds)
+
+    def transcript_bytes(self) -> bytes:
+        """The workload-level replay token.
+
+        Each round's canonical event transcript
+        (:func:`repro.distributed.events.transcript_to_bytes`) is prefixed
+        with a round header; two workload runs are "the same" exactly when
+        these bytes are identical — across repeated runs and across station
+        executors.
+        """
+        parts: list[bytes] = []
+        for index, transcript in enumerate(self.transcripts):
+            parts.append(b"== round %d ==\n" % index)
+            parts.append(transcript)
+            parts.append(b"\n")
+        return b"".join(parts)
+
+    def to_payload(self) -> dict:
+        """The JSON-ready shape written as ``BENCH_workload_<scenario>.json``."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "drive": self.drive,
+            "method": self.method,
+            "fault_profile": self.fault_profile,
+            "executor": self.executor,
+            "round_count": self.round_count,
+            "totals": {
+                "bytes": self.total_bytes,
+                "queries": self.total_queries,
+                "lost_stations": sum(m.lost_station_count for m in self.rounds),
+                "retransmits": sum(m.retransmit_count for m in self.rounds),
+            },
+            "rounds": [
+                {k: v for k, v in asdict(metrics).items() if k != "compute_time_s"}
+                for metrics in self.rounds
+            ],
+            "cumulative": {
+                name: asdict(summary) for name, summary in self.cumulative.items()
+            },
+        }
+
+
+class WorkloadAggregator:
+    """Streaming consumer of round outcomes.
+
+    The engine calls :meth:`add_round` once per round; the aggregator folds
+    the round into the cumulative streams and stores the round's canonical
+    transcript bytes.  :meth:`snapshot` exposes the cumulative statistics
+    mid-run (for progress displays); :meth:`finish` freezes the result.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        seed: int,
+        drive: str,
+        method: str,
+        fault_profile: str,
+        executor: str,
+    ) -> None:
+        self._scenario = scenario
+        self._seed = seed
+        self._drive = drive
+        self._method = method
+        self._fault_profile = fault_profile
+        self._executor = executor
+        self._rounds: list[RoundMetrics] = []
+        self._transcripts: list[bytes] = []
+        self._streams = {name: StreamingStat() for name in _STREAMED_QUANTITIES}
+
+    def add_round(
+        self,
+        metrics: RoundMetrics,
+        transcript: "tuple[TranscriptEntry, ...] | bytes",
+    ) -> None:
+        """Fold one completed round into the aggregate."""
+        if metrics.round_index != len(self._rounds):
+            raise ValueError(
+                f"rounds must arrive in order: expected index {len(self._rounds)}, "
+                f"got {metrics.round_index}"
+            )
+        self._rounds.append(metrics)
+        if isinstance(transcript, bytes):
+            self._transcripts.append(transcript)
+        else:
+            self._transcripts.append(transcript_to_bytes(transcript))
+        for name, extract in _STREAMED_QUANTITIES.items():
+            self._streams[name].push(extract(metrics))
+
+    def snapshot(self) -> dict[str, StatSummary]:
+        """Cumulative statistics over the rounds folded in so far."""
+        return {name: stream.summary() for name, stream in self._streams.items()}
+
+    def finish(self) -> WorkloadResult:
+        """Freeze everything into a :class:`WorkloadResult`."""
+        if not self._rounds:
+            raise ValueError("cannot finish a workload with no rounds")
+        return WorkloadResult(
+            scenario=self._scenario,
+            seed=self._seed,
+            drive=self._drive,
+            method=self._method,
+            fault_profile=self._fault_profile,
+            executor=self._executor,
+            rounds=tuple(self._rounds),
+            cumulative=self.snapshot(),
+            transcripts=tuple(self._transcripts),
+        )

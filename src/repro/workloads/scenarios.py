@@ -1,0 +1,118 @@
+"""The named scenario catalog.
+
+Each entry is a complete :class:`~repro.workloads.spec.WorkloadSpec` with a
+fixed default seed: ``run_workload(get_scenario(name))`` replays a
+byte-identical event transcript on every machine, and
+``get_scenario(name).with_updates(seed=..., station_count=..., rounds=...)``
+scales the same scenario shape up or down without touching its definition.
+The catalog is the shared vocabulary of the CLI (``repro workload run|list``),
+the scenario-smoke CI jobs and the replay test suite — registering a scenario
+here automatically enrolls it in all three.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import ArrivalProcess, ChurnProcess, QueryMix, WorkloadSpec
+
+#: The registry, keyed by scenario name in presentation order.
+SCENARIOS: dict[str, WorkloadSpec] = {}
+
+
+def register_scenario(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a scenario to the catalog (its name must be unused)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> WorkloadSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}"
+        ) from None
+
+
+register_scenario(
+    WorkloadSpec(
+        name="steady-state",
+        description="Constant arrivals, full deployment, clean network — the baseline trajectory every other scenario is read against.",
+        rounds=10,
+        arrival=ArrivalProcess(kind="constant", base=4),
+        seed=1201,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="flash-crowd",
+        description="Quiet rounds punctuated by 4x query bursts every 4th round (a campaign launch hitting the center).",
+        rounds=12,
+        arrival=ArrivalProcess(kind="flash", base=3, burst_multiplier=4.0, burst_every=4),
+        seed=1202,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="diurnal",
+        description="Sinusoidal day/night arrival cycle between 2 and 8 queries per round over a 8-round period.",
+        rounds=16,
+        arrival=ArrivalProcess(kind="diurnal", base=2, peak=8, period=8),
+        seed=1203,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="churn-heavy",
+        description="Stations leave with p=0.3 and rejoin with p=0.5 every round; the round only ever covers the cells that are up.",
+        rounds=12,
+        station_count=6,
+        arrival=ArrivalProcess(kind="constant", base=4),
+        churn=ChurnProcess(leave_probability=0.3, join_probability=0.5, min_active=2),
+        seed=1204,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="skewed-hotset",
+        description="Zipf(s=1.5) query mix over a seeded hot set: a few subscriber profiles dominate every round's batch.",
+        rounds=10,
+        arrival=ArrivalProcess(kind="constant", base=5),
+        mix=QueryMix(zipf_s=1.5),
+        seed=1205,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="degraded-network",
+        description="The chaos fault profile (loss, duplication, corruption, reordering, stragglers) with partial rounds allowed.",
+        rounds=10,
+        arrival=ArrivalProcess(kind="constant", base=3),
+        fault_profile="chaos",
+        allow_partial=True,
+        seed=1206,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="long-session",
+        description="A single long-running campaign: the batch rotates only every 6th round, the regime where the session drive ships tiny deltas.",
+        rounds=12,
+        arrival=ArrivalProcess(kind="constant", base=4, refresh_every=6),
+        churn=ChurnProcess(leave_probability=0.15, join_probability=0.6, min_active=2),
+        seed=1207,
+    )
+)

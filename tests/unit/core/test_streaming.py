@@ -235,3 +235,54 @@ class TestWithOtherProtocols:
 
     def test_repr(self, session):
         assert "ContinuousMatchingSession" in repr(session)
+
+
+class TestReplaceQueries:
+    def _bob_query(self):
+        return QueryPattern(
+            "q1",
+            [
+                LocalPattern("bob", [2, 0, 1, 0], "bs-1"),
+                LocalPattern("bob", [0, 1, 0, 2], "bs-2"),
+            ],
+        )
+
+    def test_rotation_rematches_every_known_station(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [2, 0, 1, 0], "bs-1")])
+        )
+        session.update_station(
+            "bs-2", PatternSet([LocalPattern("bob", [0, 1, 0, 2], "bs-2")])
+        )
+        session.collect_deltas()  # drain the dirty set
+        runs_before = session.matching_runs
+        session.replace_queries([self._bob_query()])
+        assert session.batch_encodings == 2
+        assert session.matching_runs == runs_before + 2
+        # Every station is dirty again: the rotation must be re-shipped.
+        assert set(session.dirty_station_ids) == {"bs-1", "bs-2"}
+        assert session.current_results().user_ids() == ["bob"]
+        assert session.queries[0].query_id == "q1"
+
+    def test_rotation_invalidates_encoded_report_caches(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [2, 0, 1, 0], "bs-1")])
+        )
+        before = dict(session.collect_deltas())
+        session.replace_queries([self._bob_query()])
+        after = dict(session.collect_deltas())
+        assert set(after) == {"bs-1"}
+        assert after["bs-1"] != before["bs-1"]
+
+    def test_removed_stations_stay_removed_across_rotations(self, session):
+        session.update_station(
+            "bs-1", PatternSet([LocalPattern("bob", [2, 0, 1, 0], "bs-1")])
+        )
+        session.remove_station("bs-1")
+        session.replace_queries([self._bob_query()])
+        assert session.station_ids == []
+        assert session.dirty_station_ids == ()
+
+    def test_rejects_empty_batch(self, session):
+        with pytest.raises(ValueError):
+            session.replace_queries([])

@@ -91,3 +91,60 @@ class TestDistributedSimulation:
         )
         assert outcome.costs.storage_center_bytes > 0
         assert outcome.costs.storage_station_bytes > 0
+
+
+class TestPerRoundOverrides:
+    """Multi-round driving: per-round station subsets and transport seeds."""
+
+    def test_station_subset_restricts_the_round(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        queries = list(small_workload.queries)
+        all_ids = [station.node_id for station in simulation.stations]
+        subset = all_ids[:2]
+        full = simulation.run(DIMatchingProtocol(exact_config), queries, k=None)
+        partial = simulation.run(
+            DIMatchingProtocol(exact_config), queries, k=None, station_ids=subset
+        )
+        assert partial.costs.downlink_bytes < full.costs.downlink_bytes
+        senders = {entry.sender for entry in partial.transcript} | {
+            entry.recipient for entry in partial.transcript
+        }
+        for excluded in set(all_ids) - set(subset):
+            assert excluded not in senders
+
+    def test_station_subset_equal_to_all_matches_default(
+        self, small_dataset, small_workload, exact_config
+    ):
+        simulation = DistributedSimulation(small_dataset)
+        queries = list(small_workload.queries)
+        all_ids = [station.node_id for station in simulation.stations]
+        default = simulation.run(DIMatchingProtocol(exact_config), queries, k=None)
+        explicit = simulation.run(
+            DIMatchingProtocol(exact_config), queries, k=None, station_ids=all_ids
+        )
+        assert default.transcript_bytes() == explicit.transcript_bytes()
+        assert default.results == explicit.results
+
+    def test_unknown_station_id_rejected(self, small_dataset, small_workload, exact_config):
+        simulation = DistributedSimulation(small_dataset)
+        with pytest.raises(ValueError, match="unknown station ids"):
+            simulation.run(
+                DIMatchingProtocol(exact_config),
+                list(small_workload.queries),
+                station_ids=["bs-on-the-moon"],
+            )
+
+    def test_per_round_net_seed_overrides_the_construction_seed(
+        self, small_dataset, small_workload, exact_config
+    ):
+        simulation = DistributedSimulation(
+            small_dataset, fault_plan="chaos", net_seed=0, allow_partial=True
+        )
+        queries = list(small_workload.queries)
+        protocol = DIMatchingProtocol(exact_config)
+        base = simulation.run(protocol, queries, k=None)
+        replayed = simulation.run(protocol, queries, k=None, net_seed=0)
+        reseeded = simulation.run(protocol, queries, k=None, net_seed=123)
+        assert base.transcript_bytes() == replayed.transcript_bytes()
+        assert reseeded.transcript_bytes() != base.transcript_bytes()
+        assert reseeded.costs.net_seed == 123

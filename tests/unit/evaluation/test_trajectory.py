@@ -1,0 +1,177 @@
+"""The perf-trajectory gate: headline extraction and regression detection."""
+
+import pytest
+
+from repro.evaluation.benchjson import write_bench_json
+from repro.evaluation.trajectory import (
+    compare_directories,
+    compare_documents,
+    headline_metrics,
+    main,
+)
+
+SWEEP_PAYLOAD = {
+    "methods": ["naive", "wbf"],
+    "series": {
+        "precision": {"naive": [1.0, 1.0], "wbf": [0.9, 0.8]},
+        "communication": {"naive": [1.0, 1.0], "wbf": [0.2, 0.4]},
+    },
+    "communication_bytes": {"naive": [1000, 1000], "wbf": [200, 400]},
+}
+
+WORKLOAD_PAYLOAD = {
+    "scenario": "steady-state",
+    "rounds": [],
+    "totals": {"bytes": 5000, "queries": 12, "lost_stations": 0, "retransmits": 0},
+    "cumulative": {
+        "precision": {"mean": 0.95},
+        "goodput": {"minimum": 0.8},
+        "latency_s": {"p90": 0.25},
+    },
+}
+
+WIRE_PAYLOAD = {"batch_bytes": 900, "batch_bytes_zlib": 700, "report_upload_bytes": 4000}
+
+
+def _document(payload, name="demo"):
+    return {"schema_version": 1, "benchmark": name, "payload": payload}
+
+
+class TestHeadlineMetrics:
+    def test_sweep_payload_yields_precision_and_bytes_per_method(self):
+        metrics = {m.name: m for m in headline_metrics(_document(SWEEP_PAYLOAD))}
+        assert metrics["wbf.precision.final"].value == 0.8
+        assert metrics["wbf.precision.final"].direction == "higher"
+        assert metrics["wbf.communication_bytes.final"].value == 400
+        assert metrics["wbf.communication_bytes.final"].direction == "lower"
+
+    def test_workload_payload_yields_deterministic_quantities_only(self):
+        metrics = {m.name: m for m in headline_metrics(_document(WORKLOAD_PAYLOAD))}
+        assert set(metrics) == {
+            "total_bytes",
+            "precision.mean",
+            "goodput.min",
+            "latency.p90",
+        }
+        assert metrics["latency.p90"].direction == "lower"
+
+    def test_wire_payload_tracks_sizes(self):
+        metrics = {m.name: m for m in headline_metrics(_document(WIRE_PAYLOAD))}
+        assert metrics["batch_bytes"].value == 900
+
+    def test_unknown_payload_yields_nothing(self):
+        assert headline_metrics(_document({"something": 1})) == []
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self):
+        doc = _document(WORKLOAD_PAYLOAD)
+        assert not any(c.regressed for c in compare_documents(doc, doc))
+
+    def test_byte_growth_beyond_tolerance_regresses(self):
+        fresh = _document(
+            {**WORKLOAD_PAYLOAD, "totals": {**WORKLOAD_PAYLOAD["totals"], "bytes": 6500}}
+        )
+        rows = compare_documents(_document(WORKLOAD_PAYLOAD), fresh, tolerance=0.25)
+        regressed = {c.metric for c in rows if c.regressed}
+        assert regressed == {"total_bytes"}
+
+    def test_byte_growth_within_tolerance_passes(self):
+        fresh = _document(
+            {**WORKLOAD_PAYLOAD, "totals": {**WORKLOAD_PAYLOAD["totals"], "bytes": 6000}}
+        )
+        rows = compare_documents(_document(WORKLOAD_PAYLOAD), fresh, tolerance=0.25)
+        assert not any(c.regressed for c in rows)
+
+    def test_precision_drop_beyond_tolerance_regresses(self):
+        fresh = _document(
+            {
+                **WORKLOAD_PAYLOAD,
+                "cumulative": {
+                    **WORKLOAD_PAYLOAD["cumulative"],
+                    "precision": {"mean": 0.6},
+                },
+            }
+        )
+        rows = compare_documents(_document(WORKLOAD_PAYLOAD), fresh, tolerance=0.25)
+        assert {c.metric for c in rows if c.regressed} == {"precision.mean"}
+
+    def test_improvements_never_regress(self):
+        fresh = _document(
+            {
+                **WORKLOAD_PAYLOAD,
+                "totals": {**WORKLOAD_PAYLOAD["totals"], "bytes": 100},
+                "cumulative": {
+                    "precision": {"mean": 1.0},
+                    "goodput": {"minimum": 1.0},
+                    "latency_s": {"p90": 0.01},
+                },
+            }
+        )
+        rows = compare_documents(_document(WORKLOAD_PAYLOAD), fresh)
+        assert not any(c.regressed for c in rows)
+
+    def test_missing_metric_in_fresh_payload_regresses(self):
+        fresh = _document({"something": 1})
+        rows = compare_documents(_document(WIRE_PAYLOAD), fresh)
+        assert rows and all(c.regressed for c in rows)
+        assert all(c.fresh is None for c in rows)
+
+    def test_zero_baseline_lower_is_better_only_passes_at_zero(self):
+        baseline = _document({"batch_bytes": 0})
+        assert not any(
+            c.regressed for c in compare_documents(baseline, _document({"batch_bytes": 0}))
+        )
+        assert any(
+            c.regressed for c in compare_documents(baseline, _document({"batch_bytes": 5}))
+        )
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_documents(_document({}), _document({}), tolerance=-0.1)
+
+
+class TestCompareDirectories:
+    def _write(self, directory, name, payload):
+        return write_bench_json(directory, name, payload)
+
+    def test_clean_rerun_passes_and_cli_exits_zero(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        for directory in (baseline, fresh):
+            self._write(directory, "wire_codec", WIRE_PAYLOAD)
+            self._write(directory, "workload_steady", WORKLOAD_PAYLOAD)
+        rows, notices = compare_directories(baseline, fresh)
+        assert rows and not any(c.regressed for c in rows)
+        assert notices == []
+        exit_code = main(["--baseline-dir", str(baseline), "--fresh-dir", str(fresh)])
+        assert exit_code == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_regressed_rerun_fails_the_gate(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        self._write(baseline, "wire_codec", WIRE_PAYLOAD)
+        self._write(fresh, "wire_codec", {**WIRE_PAYLOAD, "batch_bytes": 2000})
+        exit_code = main(["--baseline-dir", str(baseline), "--fresh-dir", str(fresh)])
+        assert exit_code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_vanished_benchmark_fails_the_gate(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        self._write(baseline, "wire_codec", WIRE_PAYLOAD)
+        fresh.mkdir()
+        rows, _notices = compare_directories(baseline, fresh)
+        assert any(c.regressed and "not produced" in c.note for c in rows)
+
+    def test_new_benchmark_without_baseline_is_a_notice_not_a_failure(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        self._write(baseline, "wire_codec", WIRE_PAYLOAD)
+        self._write(fresh, "wire_codec", WIRE_PAYLOAD)
+        self._write(fresh, "brand_new", WIRE_PAYLOAD)
+        rows, notices = compare_directories(baseline, fresh)
+        assert not any(c.regressed for c in rows)
+        assert any("brand_new" in notice for notice in notices)
+
+    def test_empty_baseline_directory_is_an_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        with pytest.raises(FileNotFoundError):
+            compare_directories(tmp_path / "base", tmp_path / "fresh")

@@ -119,3 +119,101 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCompareErrorPaths:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--executor", "gpu"])
+
+    def test_rejects_negative_shards(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--shards", "-1"])
+
+
+class TestWorkloadCommand:
+    TINY = [
+        "--stations", "3", "--users-per-category", "3", "--rounds", "2",
+    ]
+
+    def test_list_prints_the_catalog(self, capsys):
+        exit_code = main(["workload", "list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("steady-state", "flash-crowd", "degraded-network"):
+            assert name in captured
+
+    def test_run_prints_rounds_and_summary(self, capsys):
+        exit_code = main(["workload", "run", "steady-state", *self.TINY])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario: steady-state" in captured
+        assert "precision" in captured
+        assert "p99" in captured
+
+    def test_faulty_scenario_prints_reliability_columns(self, capsys):
+        exit_code = main(["workload", "run", "degraded-network", *self.TINY])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "goodput" in captured
+        assert "retransmits" in captured
+
+    def test_session_drive_runs(self, capsys):
+        exit_code = main(
+            ["workload", "run", "long-session", *self.TINY, "--drive", "session"]
+        )
+        assert exit_code == 0
+        assert "drive session" in capsys.readouterr().out
+
+    def test_json_dir_writes_bench_file(self, capsys, tmp_path):
+        exit_code = main(
+            ["workload", "run", "steady-state", *self.TINY, "--json-dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "BENCH_workload_steady_state.json").exists()
+
+    def test_seed_override_changes_the_run_identity(self, capsys):
+        main(["workload", "run", "steady-state", *self.TINY, "--seed", "99"])
+        assert "seed 99" in capsys.readouterr().out
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "black-friday"])
+
+    def test_rejects_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["workload"])
+
+    def test_rejects_unknown_drive(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "steady-state", "--drive", "teleport"])
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "steady-state", "--executor", "gpu"])
+
+    def test_rejects_non_positive_rounds(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "steady-state", "--rounds", "0"])
+
+    def test_rejects_non_positive_stations(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "steady-state", "--stations", "-2"])
+
+    def test_rejects_unknown_fault_profile(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "steady-state", "--fault-profile", "catastrophic"])
+
+    def test_rejects_executor_knobs_on_the_session_drive(self):
+        # The session drive matches in-process; silently ignoring the knob
+        # would misrepresent what was measured.
+        with pytest.raises(SystemExit, match="session drive"):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--drive", "session", "--executor", "process"]
+            )
+        with pytest.raises(SystemExit, match="session drive"):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--drive", "session", "--shards", "4"]
+            )

@@ -1,0 +1,40 @@
+"""Shared helpers for the workload replay suite.
+
+Every test runs scenarios at *tiny* scale (the scenario's shape with a small
+city and few rounds) so the whole suite stays inside tier-1 budgets; the
+replay guarantees under test are scale-invariant, so a tiny replay pins the
+same contract as a production-sized one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WorkloadResult, get_scenario, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Tiny-scale overrides applied to every scenario under test.
+TINY = dict(users_per_category=3, station_count=3, rounds=3)
+
+
+def tiny_spec(name: str, **extra: object) -> WorkloadSpec:
+    """The named scenario scaled down to test size."""
+    spec = get_scenario(name)
+    overrides = dict(TINY)
+    if spec.churn.min_active > overrides["station_count"]:
+        from dataclasses import replace
+
+        overrides["churn"] = replace(spec.churn, min_active=1)
+    overrides.update(extra)
+    return spec.with_updates(**overrides)
+
+
+def run_tiny(name: str, drive: str = "simulation", **kwargs: object) -> WorkloadResult:
+    """Run the named scenario at test scale."""
+    return run_workload(tiny_spec(name), drive=drive, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def steady_result() -> WorkloadResult:
+    """One shared tiny steady-state run for the cheap structural assertions."""
+    return run_tiny("steady-state")

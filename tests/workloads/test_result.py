@@ -1,0 +1,120 @@
+"""The streaming aggregation layer in isolation."""
+
+import pytest
+
+from repro.workloads.result import (
+    RoundMetrics,
+    StreamingStat,
+    WorkloadAggregator,
+)
+
+
+def _metrics(index: int, **overrides: object) -> RoundMetrics:
+    fields = dict(
+        round_index=index,
+        query_count=4,
+        active_station_count=3,
+        joined=(),
+        left=(),
+        downlink_bytes=100 * (index + 1),
+        uplink_bytes=10,
+        precision=1.0,
+        recall=1.0,
+        latency_s=0.1 * (index + 1),
+        goodput_fraction=1.0,
+        retransmit_count=0,
+        lost_station_count=0,
+        batch_refreshed=index == 0,
+    )
+    fields.update(overrides)
+    return RoundMetrics(**fields)
+
+
+class TestStreamingStat:
+    def test_summary_tracks_running_aggregates(self):
+        stat = StreamingStat()
+        for value in (5.0, 1.0, 3.0):
+            stat.push(value)
+        summary = stat.summary()
+        assert summary.count == 3
+        assert summary.total == 9.0
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_nearest_rank_percentiles(self):
+        stat = StreamingStat()
+        for value in range(1, 101):  # 1..100
+            stat.push(float(value))
+        assert stat.percentile(50) == 50.0
+        assert stat.percentile(90) == 90.0
+        assert stat.percentile(99) == 99.0
+        assert stat.percentile(100) == 100.0
+        assert stat.percentile(1) == 1.0
+
+    def test_percentile_of_a_single_value_is_that_value(self):
+        stat = StreamingStat()
+        stat.push(7.0)
+        summary = stat.summary()
+        assert summary.p50 == summary.p90 == summary.p99 == 7.0
+
+    def test_empty_stream_rejects_queries(self):
+        stat = StreamingStat()
+        with pytest.raises(ValueError):
+            stat.summary()
+        with pytest.raises(ValueError):
+            stat.percentile(50)
+
+    def test_percentile_bounds_validated(self):
+        stat = StreamingStat()
+        stat.push(1.0)
+        with pytest.raises(ValueError):
+            stat.percentile(0)
+        with pytest.raises(ValueError):
+            stat.percentile(101)
+
+
+class TestWorkloadAggregator:
+    def _aggregator(self) -> WorkloadAggregator:
+        return WorkloadAggregator(
+            scenario="demo",
+            seed=7,
+            drive="simulation",
+            method="wbf",
+            fault_profile="none",
+            executor="serial",
+        )
+
+    def test_streams_fold_round_by_round(self):
+        aggregator = self._aggregator()
+        aggregator.add_round(_metrics(0), b"round-zero")
+        first = aggregator.snapshot()
+        aggregator.add_round(_metrics(1), b"round-one")
+        second = aggregator.snapshot()
+        assert first["bytes"].count == 1
+        assert second["bytes"].count == 2
+        assert second["bytes"].maximum > first["bytes"].maximum
+
+    def test_rounds_must_arrive_in_order(self):
+        aggregator = self._aggregator()
+        aggregator.add_round(_metrics(0), b"")
+        with pytest.raises(ValueError, match="in order"):
+            aggregator.add_round(_metrics(2), b"")
+
+    def test_finish_requires_at_least_one_round(self):
+        with pytest.raises(ValueError, match="no rounds"):
+            self._aggregator().finish()
+
+    def test_result_totals_and_payload(self):
+        aggregator = self._aggregator()
+        aggregator.add_round(_metrics(0), b"alpha")
+        aggregator.add_round(_metrics(1, retransmit_count=3), b"beta")
+        result = aggregator.finish()
+        assert result.total_bytes == 110 + 210
+        assert result.total_queries == 8
+        assert result.transcript_bytes() == (
+            b"== round 0 ==\nalpha\n== round 1 ==\nbeta\n"
+        )
+        payload = result.to_payload()
+        assert payload["totals"]["retransmits"] == 3
+        assert payload["cumulative"]["latency_s"]["p50"] == 0.1

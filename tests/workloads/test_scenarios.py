@@ -1,0 +1,57 @@
+"""The scenario catalog: registry behavior and per-scenario shape claims."""
+
+import pytest
+
+from repro.workloads import (
+    SCENARIOS,
+    WorkloadSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+EXPECTED_SCENARIOS = {
+    "steady-state",
+    "flash-crowd",
+    "diurnal",
+    "churn-heavy",
+    "skewed-hotset",
+    "degraded-network",
+    "long-session",
+}
+
+
+def test_catalog_contains_the_documented_scenarios():
+    assert set(scenario_names()) == EXPECTED_SCENARIOS
+
+
+def test_every_scenario_is_a_valid_spec_named_after_its_key():
+    for name, spec in SCENARIOS.items():
+        assert isinstance(spec, WorkloadSpec)
+        assert spec.name == name
+        assert spec.description
+
+
+def test_scenarios_have_distinct_seeds():
+    seeds = [spec.seed for spec in SCENARIOS.values()]
+    assert len(seeds) == len(set(seeds))
+
+
+def test_get_scenario_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        get_scenario("black-friday")
+
+
+def test_register_scenario_rejects_duplicates():
+    with pytest.raises(ValueError, match="already registered"):
+        register_scenario(SCENARIOS["steady-state"])
+
+
+def test_scenario_shapes_match_their_stories():
+    assert SCENARIOS["flash-crowd"].arrival.kind == "flash"
+    assert SCENARIOS["diurnal"].arrival.kind == "diurnal"
+    assert not SCENARIOS["churn-heavy"].churn.is_static
+    assert SCENARIOS["skewed-hotset"].mix.zipf_s > 0
+    assert SCENARIOS["degraded-network"].fault_profile != "none"
+    assert SCENARIOS["degraded-network"].allow_partial
+    assert SCENARIOS["long-session"].arrival.refresh_every > 1

@@ -1,0 +1,120 @@
+"""Validation and process semantics of the declarative spec layer."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads import ArrivalProcess, ChurnProcess, QueryMix, WorkloadSpec
+
+
+class TestArrivalProcess:
+    def test_constant_is_flat(self):
+        arrival = ArrivalProcess(kind="constant", base=5)
+        assert [arrival.count_at(r) for r in range(4)] == [5, 5, 5, 5]
+
+    def test_flash_bursts_on_schedule(self):
+        arrival = ArrivalProcess(kind="flash", base=3, burst_multiplier=4.0, burst_every=4)
+        counts = [arrival.count_at(r) for r in range(8)]
+        assert counts == [3, 3, 3, 12, 3, 3, 3, 12]
+
+    def test_diurnal_cycles_between_base_and_peak(self):
+        arrival = ArrivalProcess(kind="diurnal", base=2, peak=8, period=8)
+        counts = [arrival.count_at(r) for r in range(16)]
+        assert counts[0] == 2
+        assert max(counts) == 8
+        assert min(counts) == 2
+        assert counts[:8] == counts[8:]  # periodic
+
+    def test_refresh_every_round_by_default(self):
+        arrival = ArrivalProcess()
+        assert all(arrival.refreshes_at(r) for r in range(4))
+
+    def test_long_running_batch_refreshes_on_cadence_and_count_changes(self):
+        arrival = ArrivalProcess(kind="flash", base=3, burst_every=4, refresh_every=100)
+        assert arrival.refreshes_at(0)
+        assert not arrival.refreshes_at(1)
+        # The burst changes the count, which forces a refresh in and out.
+        assert arrival.refreshes_at(3)
+        assert arrival.refreshes_at(4)
+        assert not arrival.refreshes_at(5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="square-wave"),
+            dict(base=0),
+            dict(burst_multiplier=0.5),
+            dict(kind="diurnal", peak=1, base=4),
+            dict(period=0),
+            dict(refresh_every=0),
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(**kwargs)
+
+    def test_peak_only_constrains_the_diurnal_shape(self):
+        # A large constant/flash base must not trip over the unused peak.
+        assert ArrivalProcess(kind="constant", base=20).count_at(0) == 20
+        assert ArrivalProcess(kind="flash", base=20).count_at(0) == 20
+
+
+class TestChurnProcess:
+    def test_defaults_are_static(self):
+        assert ChurnProcess().is_static
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(leave_probability=-0.1),
+            dict(leave_probability=1.5),
+            dict(join_probability=2.0),
+            dict(min_active=0),
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(**kwargs)
+
+
+class TestQueryMix:
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ConfigurationError):
+            QueryMix(zipf_s=-1.0)
+
+    def test_rejects_empty_categories(self):
+        with pytest.raises(ConfigurationError):
+            QueryMix(categories=())
+
+
+class TestWorkloadSpec:
+    def test_with_updates_revalidates(self):
+        spec = WorkloadSpec(name="demo")
+        with pytest.raises(ConfigurationError):
+            spec.with_updates(rounds=0)
+
+    def test_min_active_cannot_exceed_station_count(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="demo", station_count=2, churn=ChurnProcess(min_active=3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name=""),
+            dict(name="x", method="quantum"),
+            dict(name="x", fault_profile="catastrophic"),
+            dict(name="x", seed="zero"),
+            dict(name="x", users_per_category=0),
+            dict(name="x", epsilon=-1),
+        ],
+    )
+    def test_rejects_invalid_fields(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+    def test_total_query_count_sums_the_arrival_process(self):
+        spec = WorkloadSpec(
+            name="demo",
+            rounds=8,
+            arrival=ArrivalProcess(kind="flash", base=3, burst_multiplier=4.0, burst_every=4),
+        )
+        assert spec.total_query_count() == 3 * 6 + 12 * 2
