@@ -19,7 +19,7 @@ from repro.baselines.bf_matching import BloomFilterProtocol
 from repro.core.config import DIMatchingConfig
 from repro.core.dimatching import DIMatchingProtocol
 from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
-from repro.distributed.simulator import DistributedSimulation
+from repro.cluster import Cluster
 from repro.evaluation.experiments import ground_truth_users
 from repro.evaluation.metrics import evaluate_retrieval
 from repro.utils.asciiplot import render_table
@@ -45,7 +45,7 @@ def test_ablation_weight_rules(benchmark):
     config = DIMatchingConfig(epsilon=0, sample_count=12)
     queries = list(workload.queries)
     truth = ground_truth_users(dataset, queries, 0)
-    simulation = DistributedSimulation(dataset)
+    cluster = Cluster.adopt(dataset)
 
     variants = {
         "wbf (full)": DIMatchingProtocol(config),
@@ -58,7 +58,7 @@ def test_ablation_weight_rules(benchmark):
     def run_all():
         precisions = {}
         for label, protocol in variants.items():
-            outcome = simulation.run(protocol, queries, k=len(truth))
+            outcome = cluster.drive(protocol, queries, k=len(truth))
             precisions[label] = evaluate_retrieval(
                 outcome.retrieved_user_ids, truth
             ).precision

@@ -9,17 +9,17 @@ improve as the number of patterns grows.
 from conftest import write_json_result, write_report
 
 from repro.core.dimatching import DIMatchingProtocol
-from repro.distributed.simulator import DistributedSimulation
+from repro.cluster import Cluster
 from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
 
 def test_figure_4a_precision(benchmark, figure4_dataset, figure4_largest_workload, figure4_config, figure4_sweep):
-    simulation = DistributedSimulation(figure4_dataset)
+    cluster = Cluster.adopt(figure4_dataset)
     queries = list(figure4_largest_workload.queries)
 
     benchmark.pedantic(
-        lambda: simulation.run(DIMatchingProtocol(figure4_config), queries, k=None),
+        lambda: cluster.drive(DIMatchingProtocol(figure4_config), queries, k=None),
         rounds=1,
         iterations=1,
     )

@@ -9,18 +9,18 @@ because the per-station probing cost is fixed at b·k bit probes per candidate.
 from conftest import write_json_result, write_report
 
 from repro.baselines.naive import NaiveProtocol
-from repro.distributed.simulator import DistributedSimulation
+from repro.cluster import Cluster
 from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
 
 def test_figure_4b_time_cost(benchmark, figure4_dataset, figure4_largest_workload, figure4_sweep):
-    simulation = DistributedSimulation(figure4_dataset)
+    cluster = Cluster.adopt(figure4_dataset)
     queries = list(figure4_largest_workload.queries)
 
     # The timed unit is the naive method on the largest batch — the paper's worst case.
     benchmark.pedantic(
-        lambda: simulation.run(NaiveProtocol(epsilon=0), queries, k=None),
+        lambda: cluster.drive(NaiveProtocol(epsilon=0), queries, k=None),
         rounds=1,
         iterations=1,
     )

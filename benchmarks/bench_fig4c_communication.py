@@ -14,7 +14,7 @@ ordering is scale-dependent — see bench_ablation_scale.py.)
 from conftest import write_json_result, write_report
 
 from repro.baselines.bf_matching import BloomFilterProtocol
-from repro.distributed.simulator import DistributedSimulation
+from repro.cluster import Cluster
 from repro.evaluation.benchjson import comparison_sweep_payload
 from repro.evaluation.reporting import comparison_series, format_comparison_sweep
 
@@ -22,11 +22,11 @@ from repro.evaluation.reporting import comparison_series, format_comparison_swee
 def test_figure_4c_communication_cost(
     benchmark, figure4_dataset, figure4_largest_workload, figure4_config, figure4_sweep
 ):
-    simulation = DistributedSimulation(figure4_dataset)
+    cluster = Cluster.adopt(figure4_dataset)
     queries = list(figure4_largest_workload.queries)
 
     benchmark.pedantic(
-        lambda: simulation.run(BloomFilterProtocol(figure4_config), queries, k=None),
+        lambda: cluster.drive(BloomFilterProtocol(figure4_config), queries, k=None),
         rounds=1,
         iterations=1,
     )

@@ -2,21 +2,34 @@
 
 A mobile operator wants to promote a call package to customers whose communication
 pattern resembles a small set of existing, satisfied customers.  The exemplar
-customers' data is split across base stations; the operator runs DI-matching to find
-the top-K most similar subscribers without hauling every station's raw data to the
-data center.
+customers' data is split across base stations; the operator deploys DI-matching
+behind the ``repro.cluster.Cluster`` facade to find the top-K most similar
+subscribers without hauling every station's raw data to the data center — and
+compares the same deployment against the naive ship-everything method by
+swapping only the spec's protocol sub-spec.
 
 Run with:  python examples/call_package_campaign.py
+(set REPRO_EXAMPLE_SCALE=tiny for the CI smoke scale)
 """
 
 from __future__ import annotations
 
-from repro import DatasetSpec, DIMatchingConfig, build_dataset
-from repro.baselines import NaiveProtocol
-from repro.core import DIMatchingProtocol
+import os
+
+from repro import (
+    Cluster,
+    ClusterSpec,
+    DatasetSpec,
+    DIMatchingConfig,
+    ProtocolSpec,
+    RoundOptions,
+    TransportSpec,
+    build_dataset,
+)
 from repro.datagen.workload import build_query_workload
-from repro.distributed import DistributedSimulation, NetworkConfig
 from repro.evaluation import evaluate_retrieval, ground_truth_users
+
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
 
 
 def main() -> None:
@@ -24,10 +37,10 @@ def main() -> None:
     # at 30-minute granularity, with natural person-to-person timing jitter.
     dataset = build_dataset(
         DatasetSpec(
-            users_per_category=30,
-            station_count=6,
-            days=2,
-            intervals_per_day=48,
+            users_per_category=5 if TINY else 30,
+            station_count=3 if TINY else 6,
+            days=1 if TINY else 2,
+            intervals_per_day=24 if TINY else 48,
             noise_level=1,
             seed=77,
         )
@@ -47,21 +60,29 @@ def main() -> None:
     truth = ground_truth_users(dataset, queries, workload.epsilon)
     print(f"campaign exemplars: {len(queries)}; truly similar subscribers: {len(truth)}")
 
-    # Simulate the distributed round over a bandwidth-limited backhaul.
-    simulation = DistributedSimulation(
-        dataset, NetworkConfig(bandwidth_bytes_per_s=1_000_000, latency_s=0.02)
+    # One deployment spec over a bandwidth-limited backhaul; the method is just
+    # the protocol sub-spec, so WBF vs naive is a one-field change.
+    spec = ClusterSpec(
+        name="call-package",
+        protocol=ProtocolSpec(
+            method="wbf", epsilon=2, config=DIMatchingConfig(epsilon=2, sample_count=12)
+        ),
+        transport=TransportSpec(bandwidth_bytes_per_s=1_000_000, latency_s=0.02),
     )
-    config = DIMatchingConfig(epsilon=2, sample_count=12)
-    top_k = len(truth)
+    outcomes = {}
+    for method in ("wbf", "naive"):
+        method_spec = spec.with_updates(
+            protocol=ProtocolSpec(method=method, epsilon=2, config=spec.protocol.config)
+        )
+        with Cluster(method_spec, dataset=dataset) as cluster:
+            cluster.subscribe(queries)
+            outcomes[method] = cluster.round(RoundOptions(k=len(truth)))
 
-    wbf_outcome = simulation.run(DIMatchingProtocol(config), queries, k=top_k)
-    naive_outcome = simulation.run(NaiveProtocol(epsilon=2), queries, k=top_k)
-
-    for outcome in (wbf_outcome, naive_outcome):
-        metrics = evaluate_retrieval(outcome.retrieved_user_ids, truth)
-        costs = outcome.costs
+    for method, report in outcomes.items():
+        metrics = evaluate_retrieval(report.retrieved_user_ids, truth)
+        costs = report.costs
         print(
-            f"\n[{outcome.method}] precision={metrics.precision:.3f} "
+            f"\n[{method}] precision={metrics.precision:.3f} "
             f"recall={metrics.recall:.3f}"
         )
         print(
@@ -74,11 +95,14 @@ def main() -> None:
             f"transmission {costs.transmission_time_s * 1000:.0f} ms)"
         )
 
-    saving = 1 - wbf_outcome.costs.communication_bytes / naive_outcome.costs.communication_bytes
+    saving = 1 - (
+        outcomes["wbf"].costs.communication_bytes
+        / outcomes["naive"].costs.communication_bytes
+    )
     print(f"\nDI-matching moved {saving:.0%} fewer bytes than shipping the raw data.")
 
     print("\ntop recommended subscribers for the campaign:")
-    for entry in wbf_outcome.results.top(10):
+    for entry in outcomes["wbf"].results.top(10):
         print(
             f"  {entry.user_id:<28} score={entry.score:.3f} "
             f"category={dataset.category_of(entry.user_id)}"

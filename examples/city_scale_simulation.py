@@ -4,26 +4,32 @@ Builds a larger synthetic city (several hundred subscribers, two days of 30-minu
 intervals), then runs the naive, local-only, plain-BF and WBF protocols over the
 simulated distributed environment and prints an evaluation report in the style of
 the paper's Section V (precision/recall plus communication, storage and time
-relative to the naive method).
+relative to the naive method).  ``run_comparison`` drives every method through
+the same ``repro.cluster.Cluster`` engine the facade exposes.
 
 Run with:  python examples/city_scale_simulation.py
+(set REPRO_EXAMPLE_SCALE=tiny for the CI smoke scale)
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import DatasetSpec, DIMatchingConfig, build_dataset
 from repro.datagen.workload import build_query_workload
 from repro.evaluation import run_comparison
 from repro.utils.asciiplot import render_table
 
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
+
 
 def main() -> None:
     dataset = build_dataset(
         DatasetSpec(
-            users_per_category=80,
-            station_count=8,
-            days=2,
-            intervals_per_day=48,
+            users_per_category=6 if TINY else 80,
+            station_count=3 if TINY else 8,
+            days=1 if TINY else 2,
+            intervals_per_day=24 if TINY else 48,
             noise_level=0,
             cliques_per_place=3,
             replicated_decoys_per_category=3,
@@ -33,7 +39,9 @@ def main() -> None:
     print(f"synthetic city: {dataset}")
     print(f"raw data volume at stations: {dataset.total_raw_size_bytes() / 1024:.0f} KiB")
 
-    workload = build_query_workload(dataset, query_count=18, epsilon=0, seed=3)
+    workload = build_query_workload(
+        dataset, query_count=4 if TINY else 18, epsilon=0, seed=3
+    )
     config = DIMatchingConfig(epsilon=0, sample_count=12, hash_count=4)
 
     result = run_comparison(

@@ -10,6 +10,11 @@ Weighted Bloom Filter does not:
    stations equals the query's whole pattern ({3,4,5} three times aggregates to
    {9,12,15}, which is not the query).
 
+This example deliberately sits *below* the ``repro.cluster`` facade: it calls
+the protocol phases directly on hand-built pattern fragments to isolate the
+weight mechanism the facade's deployments run on.  Every end-to-end example
+(quickstart, call-package, monitoring, city-scale) drives the facade instead.
+
 Run with:  python examples/wbf_vs_bloom_filter.py
 """
 

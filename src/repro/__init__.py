@@ -11,13 +11,20 @@ every table and figure of the paper.
 Quickstart
 ----------
 
->>> from repro import (
-...     DatasetSpec, DIMatchingConfig, build_dataset, build_query_workload, run_dimatching,
+The typed ``repro.cluster`` facade is the one public entry point (see
+``docs/api.md`` for the full verb table):
+
+>>> from repro import Cluster, ClusterSpec, DatasetSpec, ProtocolSpec, build_query_workload
+>>> spec = ClusterSpec(
+...     name="quickstart",
+...     dataset=DatasetSpec(users_per_category=5, station_count=4),
+...     protocol=ProtocolSpec(method="wbf", epsilon=0),
 ... )
->>> dataset = build_dataset(DatasetSpec(users_per_category=5, station_count=4))
->>> workload = build_query_workload(dataset, query_count=3, epsilon=0)
->>> results = run_dimatching(dataset, list(workload.queries), DIMatchingConfig())
->>> len(results) > 0
+>>> with Cluster(spec) as cluster:
+...     workload = build_query_workload(cluster.dataset, query_count=3, epsilon=0)
+...     cluster.subscribe(list(workload.queries))
+...     report = cluster.round()
+>>> len(report.results) > 0
 True
 """
 
@@ -51,6 +58,19 @@ try:
         build_dataset,
         build_ground_truth_cohort,
         build_query_workload,
+    )
+    from repro.cluster import (
+        Cluster,
+        ClusterSession,
+        ClusterSnapshot,
+        ClusterSpec,
+        ClusterStateError,
+        ExecutorSpec,
+        FaultSpec,
+        ProtocolSpec,
+        RoundOptions,
+        RoundReport,
+        TransportSpec,
     )
     from repro.distributed import DistributedSimulation, NetworkConfig, SimulationOutcome
     from repro.evaluation import (
@@ -105,6 +125,17 @@ __all__ = [
 
 if HAS_DATAGEN:
     __all__ += [
+        "Cluster",
+        "ClusterSession",
+        "ClusterSnapshot",
+        "ClusterSpec",
+        "ClusterStateError",
+        "ExecutorSpec",
+        "FaultSpec",
+        "ProtocolSpec",
+        "RoundOptions",
+        "RoundReport",
+        "TransportSpec",
         "DatasetSpec",
         "DistributedDataset",
         "QueryWorkload",

@@ -9,7 +9,10 @@ Usage (after ``pip install -e .``)::
 
 Each sub-command builds the relevant synthetic workload, runs the experiment and
 prints the same plain-text table/chart the benchmark harness records under
-``benchmarks/results/``.
+``benchmarks/results/``.  Every round any sub-command executes — ``compare``'s
+method sweep and ``workload run``'s scenario drives alike — goes through the
+``repro.cluster.Cluster`` facade engine (via ``run_comparison`` /
+``run_workload``); the CLI only parses knobs and renders reports.
 """
 
 from __future__ import annotations

@@ -1,0 +1,55 @@
+"""``repro.cluster`` — the one typed, handle-based API for the whole system.
+
+Stand up a deployment from a validated :class:`ClusterSpec`, then drive it
+through the :class:`Cluster` facade's verbs::
+
+    from repro.cluster import Cluster, ClusterSpec, ProtocolSpec, RoundOptions
+    from repro.datagen.workload import DatasetSpec
+
+    spec = ClusterSpec(
+        name="demo",
+        dataset=DatasetSpec(users_per_category=5, station_count=4),
+        protocol=ProtocolSpec(method="wbf", epsilon=0),
+    )
+    with Cluster(spec) as cluster:
+        cluster.subscribe(queries)
+        report = cluster.round(RoundOptions(k=10))
+
+Everything that used to require picking one of four entry points —
+``DistributedSimulation``, ``ContinuousMatchingSession``, the workload
+engine's drive modes, hand-wired CLI runs — goes through this surface now;
+see ``docs/api.md`` for the verb table and migration notes.
+"""
+
+from repro.cluster.facade import (
+    Cluster,
+    ClusterSession,
+    ClusterStateError,
+    SESSION_MODES,
+)
+from repro.cluster.report import ClusterSnapshot, RoundReport
+from repro.cluster.spec import (
+    ClusterSpec,
+    ExecutorSpec,
+    FaultSpec,
+    PROTOCOL_METHODS,
+    ProtocolSpec,
+    TransportSpec,
+)
+from repro.distributed.simulator import RoundOptions
+
+__all__ = [
+    "Cluster",
+    "ClusterSession",
+    "ClusterSnapshot",
+    "ClusterSpec",
+    "ClusterStateError",
+    "ExecutorSpec",
+    "FaultSpec",
+    "PROTOCOL_METHODS",
+    "ProtocolSpec",
+    "RoundOptions",
+    "RoundReport",
+    "SESSION_MODES",
+    "TransportSpec",
+]

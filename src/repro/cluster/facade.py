@@ -1,0 +1,846 @@
+"""The ``Cluster`` facade: one typed, handle-based API for the whole system.
+
+This module owns the round engine that used to live in
+``repro.distributed.simulator``: the data center encodes the query batch and
+broadcasts the artifact to every participating base station (downlink), the
+stations run their matching phase through a pluggable sharded executor, and
+their reports travel back over the deterministic event-driven transport
+(uplink) to be aggregated into the ranked top-K.  All traffic moves as
+*encoded wire bytes* exposed to the round's seeded fault plan, so a surviving
+round is always exactly correct and byte counts are real encoded lengths.
+
+Around that engine the :class:`Cluster` presents the system's one public
+surface:
+
+* ``publish(station_id, patterns)`` / ``retire(station_id)`` — station-side
+  data registration (the matcher cache re-primes only the changed station);
+* ``subscribe(queries)`` — query-batch registration, incrementally re-encoded
+  when a continuous session is open;
+* ``round(...)`` — one full wire round, returning a typed
+  :class:`~repro.cluster.report.RoundReport`;
+* ``open_session(mode)`` — a :class:`ClusterSession` handle that unifies the
+  two drive styles (full per-round wire rounds vs continuous delta shipping)
+  behind one ``step()`` verb;
+* ``snapshot()`` / ``restore()`` — freeze and reinstall the cluster's mutable
+  state for warm starts and failover experiments;
+* ``transcript_bytes()`` — the cluster-level replay token, framed exactly
+  like :meth:`repro.workloads.result.WorkloadResult.transcript_bytes`;
+* ``drive(protocol, queries, ...)`` — the low-level escape hatch that runs an
+  arbitrary protocol through one round (what the method-comparison harness
+  and the deprecated ``DistributedSimulation`` shim delegate to).
+
+Executor choice never changes results, byte counts or the network transcript
+— only measured wall-clock; the fault plan and network seed never change what
+a *surviving* round computes, only what it costs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.report import ClusterSnapshot, RoundReport
+from repro.cluster.spec import ClusterSpec
+from repro.core.exceptions import ConfigurationError
+from repro.core.protocol import MatchingProtocol
+from repro.core.streaming import ContinuousMatchingSession
+from repro.datagen.workload import build_dataset
+from repro.distributed.basestation import BaseStationNode
+from repro.distributed.datacenter import DataCenterNode
+from repro.distributed.executor import ShardedStationRunner, merge_shard_outcomes
+from repro.distributed.faults import FaultPlan, resolve_fault_plan
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.metrics import CostReport
+from repro.distributed.network import NetworkConfig, SimulatedNetwork
+from repro.distributed.simulator import (
+    RoundOptions,
+    SimulationOutcome,
+    _artifact_size_bytes,
+)
+from repro.timeseries.pattern import PatternSet
+from repro.timeseries.query import QueryPattern
+from repro.utils.validation import require_non_empty
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.workload import DistributedDataset
+
+#: Drive styles of :meth:`Cluster.open_session`.
+SESSION_MODES = ("rounds", "deltas")
+
+
+class ClusterStateError(RuntimeError):
+    """A facade verb was called in a state that cannot serve it."""
+
+
+class Cluster:
+    """One deployed distributed matching system behind a typed facade.
+
+    Build one from a validated :class:`~repro.cluster.spec.ClusterSpec`
+    (``spec.dataset`` describes the synthetic city to build), or adopt an
+    existing :class:`~repro.datagen.workload.DistributedDataset` by passing
+    ``dataset=`` — the spec's remaining sub-specs still govern protocol,
+    transport, executor and faults.  The cluster is a context manager;
+    leaving the ``with`` block shuts down any executor worker pools.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        *,
+        dataset: "DistributedDataset | None" = None,
+    ) -> None:
+        if not isinstance(spec, ClusterSpec):
+            raise ConfigurationError(
+                f"spec must be a ClusterSpec, got {type(spec).__name__}"
+            )
+        if dataset is None:
+            if spec.dataset is None:
+                raise ConfigurationError(
+                    "spec.dataset is None and no pre-built dataset was passed; "
+                    "one of the two must describe the deployment's data"
+                )
+            dataset = build_dataset(spec.dataset)
+        self._spec: ClusterSpec | None = spec
+        self._protocol: MatchingProtocol | None = spec.protocol.build()
+        self._setup(
+            dataset,
+            network_config=spec.transport.network_config(),
+            executor=spec.executor.kind,
+            shard_count=spec.executor.shard_count,
+            max_workers=spec.executor.max_workers,
+            fault_plan=spec.faults.profile,
+            net_seed=spec.faults.net_seed,
+            allow_partial=spec.faults.allow_partial,
+        )
+
+    @classmethod
+    def adopt(
+        cls,
+        dataset: "DistributedDataset",
+        network_config: NetworkConfig | None = None,
+        executor: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
+        fault_plan: FaultPlan | str | None = None,
+        net_seed: int | None = None,
+        allow_partial: bool = False,
+    ) -> "Cluster":
+        """Wrap a pre-built dataset with the legacy maybe-``None`` knob semantics.
+
+        This is the compatibility spine the deprecated shims and the
+        method-comparison harness stand on: every ``None`` defers to the
+        driven protocol's own configuration, exactly like the old
+        ``DistributedSimulation`` constructor.  No protocol is bound, so only
+        :meth:`drive` is available (the typed verbs need a spec).
+        """
+        cluster = object.__new__(cls)
+        cluster._spec = None
+        cluster._protocol = None
+        cluster._setup(
+            dataset,
+            network_config=network_config or NetworkConfig(),
+            executor=executor,
+            shard_count=shard_count,
+            max_workers=max_workers,
+            fault_plan=fault_plan,
+            net_seed=net_seed,
+            allow_partial=allow_partial,
+        )
+        return cluster
+
+    def _setup(
+        self,
+        dataset: "DistributedDataset",
+        *,
+        network_config: NetworkConfig,
+        executor: str | None,
+        shard_count: int | None,
+        max_workers: int | None,
+        fault_plan: FaultPlan | str | None,
+        net_seed: int | None,
+        allow_partial: bool,
+    ) -> None:
+        self._dataset = dataset
+        self._network_config = network_config
+        self._executor = executor
+        self._shard_count = shard_count
+        self._max_workers = max_workers
+        self._fault_plan = fault_plan
+        self._net_seed = net_seed
+        self._allow_partial = bool(allow_partial)
+        self._runners: dict[tuple[str, int], ShardedStationRunner] = {}
+        self._center = DataCenterNode()
+        self._patterns: dict[str, PatternSet] = {}
+        for station_id in dataset.station_ids:
+            patterns = dataset.local_patterns_at(station_id)
+            if len(patterns) > 0:
+                self._patterns[station_id] = patterns
+        self._nodes: dict[str, BaseStationNode] = {
+            station_id: BaseStationNode(station_id, patterns)
+            for station_id, patterns in self._patterns.items()
+        }
+        self._queries: tuple[QueryPattern, ...] = ()
+        self._round_index = 0
+        self._transcripts: list[bytes] = []
+        self._session: "ClusterSession | None" = None
+        self._epoch = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def spec(self) -> ClusterSpec | None:
+        """The validated deployment spec (``None`` for adopted legacy clusters)."""
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        """The deployment name."""
+        return self._spec.name if self._spec is not None else "adopted"
+
+    @property
+    def dataset(self) -> "DistributedDataset":
+        """The dataset the cluster serves."""
+        return self._dataset
+
+    @property
+    def stations(self) -> list[BaseStationNode]:
+        """The base-station nodes that store at least one pattern."""
+        return list(self._nodes.values())
+
+    @property
+    def station_ids(self) -> tuple[str, ...]:
+        """Ids of the pattern-bearing stations, in dataset order."""
+        return tuple(self._nodes)
+
+    @property
+    def center(self) -> DataCenterNode:
+        """The data-center node."""
+        return self._center
+
+    @property
+    def protocol(self) -> MatchingProtocol:
+        """The matching protocol this deployment runs."""
+        return self._require_protocol()
+
+    @property
+    def queries(self) -> tuple[QueryPattern, ...]:
+        """The currently subscribed query batch (empty before ``subscribe``)."""
+        return self._queries
+
+    @property
+    def round_index(self) -> int:
+        """Number of facade-recorded rounds completed so far."""
+        return self._round_index
+
+    def _require_protocol(self) -> MatchingProtocol:
+        if self._protocol is None:
+            raise ClusterStateError(
+                "this cluster adopted a dataset without a ClusterSpec; only "
+                "drive(protocol, ...) is available"
+            )
+        return self._protocol
+
+    # -- registration verbs ----------------------------------------------------
+
+    def publish(self, station_id: str, patterns: PatternSet) -> int:
+        """Register (or replace) one station's local pattern data.
+
+        Returns the number of patterns the station now stores.  The next
+        round re-primes only this station's matcher; while a delta session is
+        open the station is additionally re-matched incrementally and marked
+        dirty for the next shipment.
+        """
+        if not isinstance(patterns, PatternSet):
+            raise TypeError(
+                f"patterns must be a PatternSet, got {type(patterns).__name__}"
+            )
+        key = str(station_id)
+        if key not in self._dataset.station_ids:
+            raise ValueError(
+                f"unknown station id {key!r}; expected one of the dataset's stations"
+            )
+        # The session hook runs first: if it refuses (e.g. a delta session
+        # with no subscription yet), the cluster state must stay untouched so
+        # cluster and session views never diverge.
+        if self._session is not None:
+            self._session._on_publish(key, patterns)
+        # Station order is dataset order, independent of publish order; only
+        # the published station's node is rebuilt (its inbox state is per-round
+        # anyway, and the protocol-side matcher cache re-primes on the new
+        # PatternSet identity).
+        updated = dict(self._patterns, **{key: patterns})
+        self._patterns = {
+            sid: updated[sid] for sid in self._dataset.station_ids if sid in updated
+        }
+        nodes = dict(self._nodes)
+        nodes[key] = BaseStationNode(key, patterns)
+        self._nodes = {sid: nodes[sid] for sid in self._patterns}
+        return len(patterns)
+
+    def retire(self, station_id: str) -> None:
+        """Withdraw a station's published data (the station went offline)."""
+        key = str(station_id)
+        self._patterns.pop(key, None)
+        self._nodes.pop(key, None)
+        if self._session is not None:
+            self._session._on_retire(key)
+
+    def subscribe(self, queries: Sequence[QueryPattern]) -> None:
+        """Register the query batch the deployment answers.
+
+        Re-subscribing rotates the batch; an open delta session re-encodes
+        the artifact once and incrementally re-matches every station it has
+        seen (exactly :meth:`ContinuousMatchingSession.replace_queries`).
+        """
+        require_non_empty(queries, "queries")
+        self._queries = tuple(queries)
+        if self._session is not None:
+            self._session._on_subscribe(self._queries)
+
+    # -- the round engine ------------------------------------------------------
+
+    def _runner_for(self, protocol: MatchingProtocol) -> ShardedStationRunner:
+        """Resolve the station runner from spec/adopted knobs, protocol config, defaults.
+
+        Runners (and therefore their worker pools) are memoized per effective
+        ``(executor, shard_count)``, so a sweep of many rounds through one
+        cluster reuses one pool instead of re-spawning workers per round.
+        """
+        config = getattr(protocol, "config", None)
+        executor = self._executor or getattr(config, "executor", "serial")
+        shard_count = (
+            self._shard_count
+            if self._shard_count is not None
+            else getattr(config, "shard_count", 0)
+        )
+        key = (executor, shard_count)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = ShardedStationRunner(
+                executor=executor, shard_count=shard_count, max_workers=self._max_workers
+            )
+            self._runners[key] = runner
+        return runner
+
+    def _network_for(
+        self, protocol: MatchingProtocol, net_seed: int | None = None
+    ) -> SimulatedNetwork:
+        """Fresh per-round transport, faults resolved like the executor knobs."""
+        config = getattr(protocol, "config", None)
+        plan = resolve_fault_plan(
+            self._fault_plan
+            if self._fault_plan is not None
+            else getattr(config, "fault_profile", "none")
+        )
+        if net_seed is None:
+            net_seed = (
+                self._net_seed
+                if self._net_seed is not None
+                else getattr(config, "net_seed", 0)
+            )
+        return SimulatedNetwork(
+            self._network_config,
+            fault_plan=plan,
+            seed=net_seed,
+            decode_backend=getattr(config, "bit_backend", "auto"),
+            allow_partial=self._allow_partial,
+        )
+
+    def _participants(self, station_ids: Sequence[str] | None) -> list[BaseStationNode]:
+        """Resolve one round's participating stations (``None`` = all of them).
+
+        ``station_ids`` is how a multi-round driver models churn: a station
+        absent from the round's set neither receives the artifact nor uploads
+        a report, exactly like a cell that joined the network after the round
+        or left before it.  Ids must name dataset stations; ids of stations
+        that store no patterns are tolerated (they never participate anyway).
+        """
+        if station_ids is None:
+            return list(self._nodes.values())
+        wanted = {str(station_id) for station_id in station_ids}
+        unknown = wanted - set(self._dataset.station_ids)
+        if unknown:
+            raise ValueError(
+                f"unknown station ids {sorted(unknown)!r}; "
+                f"expected a subset of the dataset's stations"
+            )
+        return [node for sid, node in self._nodes.items() if sid in wanted]
+
+    def drive(
+        self,
+        protocol: MatchingProtocol,
+        queries: Sequence[QueryPattern],
+        k: int | None = None,
+        *,
+        options: RoundOptions | None = None,
+    ) -> SimulationOutcome:
+        """Execute one full matching round of an arbitrary protocol.
+
+        This is the low-level engine verb: it binds no state, records no
+        transcript and accepts any protocol — what a method-comparison sweep
+        needs, and what the deprecated ``DistributedSimulation.run`` delegates
+        to.  Facade users normally call :meth:`round` instead.  Raises
+        :class:`~repro.distributed.events.RoundTimeoutError` when a transfer
+        exhausts its retransmission budget and the deployment does not allow
+        partial rounds.
+        """
+        options = options or RoundOptions()
+        if k is None:
+            k = options.k
+        participants = self._participants(options.station_ids)
+        network = self._network_for(protocol, options.net_seed)
+        self._center.clear_inbox()
+        for station in self._nodes.values():
+            station.clear_inbox()
+
+        # Phase 1: encoding at the data center, then reliable dissemination —
+        # every station decodes the artifact from the wire bytes it received.
+        encode_start = time.perf_counter()
+        artifact = self._center.encode(protocol, queries)
+        encode_time = time.perf_counter() - encode_start
+
+        downlink_sends: list[tuple[Message, BaseStationNode]] = []
+        for station in participants:
+            message = Message(
+                sender=self._center.node_id,
+                recipient=station.node_id,
+                # The naive method distributes no artifact: stations receive
+                # only a tiny control trigger.
+                kind=(
+                    MessageKind.FILTER_DISSEMINATION
+                    if artifact is not None
+                    else MessageKind.CONTROL
+                ),
+                payload=artifact,
+            )
+            downlink_sends.append((message, station))
+        downlink = network.broadcast(downlink_sends)
+        lost_stations = set(downlink.failed_ids)
+        active_stations = [s for s in participants if s.node_id not in lost_stations]
+
+        # The matching phase runs against what actually crossed the wire: the
+        # artifact one surviving station decoded.  All surviving copies are
+        # equal by the transport's integrity guarantee (checksum + canonical
+        # codec), so one decoded instance is shared across shards rather than
+        # shipping N copies to process workers.
+        matching_artifact = (
+            active_stations[0].latest_artifact() if active_stations else artifact
+        )
+
+        # Phase 2: sharded per-station matching; simulated wall time is the
+        # maximum over shards (shards run concurrently, a shard sequentially).
+        runner = self._runner_for(protocol)
+        shard_outcomes = runner.run(protocol, active_stations, matching_artifact)
+        reports_by_station = merge_shard_outcomes(shard_outcomes)
+        shard_times = [outcome.elapsed_s for outcome in shard_outcomes]
+
+        # Phase 3a: reliable uplink in deterministic station order (frames
+        # serialize at the center's ingress independently of shard layout).
+        uplink_sends: list[tuple[Message, DataCenterNode]] = []
+        for station in active_stations:
+            reports = reports_by_station[station.node_id]
+            message = Message(
+                sender=station.node_id,
+                recipient=self._center.node_id,
+                kind=MessageKind.MATCH_REPORT,
+                payload=reports,
+            )
+            uplink_sends.append((message, self._center))
+        uplink = network.gather(uplink_sends)
+        lost_stations.update(uplink.failed_ids)
+
+        # Phase 3b: aggregation over the reports the center actually decoded,
+        # consumed in canonical station order so delivery reordering can never
+        # change the ranking.
+        decoded_by_sender = self._center.reports_by_sender()
+        uplink_payload_bytes = 0
+        all_reports: list[object] = []
+        for message, _receiver in uplink_sends:
+            if message.sender in decoded_by_sender:
+                uplink_payload_bytes += message.payload_bytes()
+                all_reports.extend(decoded_by_sender[message.sender])
+        aggregate_start = time.perf_counter()
+        results = self._center.aggregate(protocol, all_reports, k)
+        aggregate_time = time.perf_counter() - aggregate_start
+
+        stats = network.frame_stats()
+        artifact_bytes = _artifact_size_bytes(artifact)
+        costs = CostReport(
+            method=protocol.name,
+            downlink_bytes=network.downlink_bytes,
+            uplink_bytes=network.uplink_bytes,
+            message_count=network.message_count,
+            # The center keeps the artifact it built plus everything it received;
+            # every station keeps the artifact it received on top of its raw data.
+            storage_center_bytes=artifact_bytes + uplink_payload_bytes,
+            storage_station_bytes=artifact_bytes * len(active_stations),
+            encode_time_s=encode_time,
+            station_time_s=max(shard_times) if shard_times else 0.0,
+            aggregate_time_s=aggregate_time,
+            transmission_time_s=network.transmission_time_s(),
+            report_count=len(all_reports),
+            executor=runner.executor,
+            shard_count=len(shard_outcomes),
+            fault_profile=network.fault_plan.name,
+            net_seed=network.seed,
+            retransmit_count=stats.retransmit_count,
+            dropped_frame_count=stats.frames_dropped,
+            duplicate_frame_count=stats.frames_duplicate,
+            corrupt_frame_count=stats.frames_corrupt,
+            lost_station_count=len(lost_stations),
+            goodput_fraction=stats.goodput_fraction,
+        )
+        return SimulationOutcome(
+            method=protocol.name,
+            results=results,
+            costs=costs,
+            transcript=network.transcript,
+        )
+
+    # -- facade rounds ---------------------------------------------------------
+
+    def round(
+        self,
+        options: RoundOptions | None = None,
+        *,
+        station_ids: Sequence[str] | None = None,
+        net_seed: int | None = None,
+        k: int | None = None,
+    ) -> RoundReport:
+        """Run one full wire round of the deployment's protocol and record it.
+
+        Per-round overrides travel either as one
+        :class:`~repro.distributed.simulator.RoundOptions` or as loose
+        keywords (not both).  Requires a subscribed query batch.
+        """
+        merged = RoundOptions.merge(options, station_ids=station_ids, net_seed=net_seed, k=k)
+        protocol = self._require_protocol()
+        if not self._queries:
+            raise ClusterStateError("subscribe() a query batch before running a round")
+        outcome = self.drive(protocol, self._queries, merged.k, options=merged)
+        costs = outcome.costs
+        report = RoundReport(
+            round_index=self._round_index,
+            mode="round",
+            results=outcome.results,
+            query_count=len(self._queries),
+            active_station_count=len(self._participants(merged.station_ids)),
+            downlink_bytes=costs.downlink_bytes,
+            uplink_bytes=costs.uplink_bytes,
+            latency_s=costs.transmission_time_s,
+            goodput_fraction=costs.goodput_fraction,
+            retransmit_count=costs.retransmit_count,
+            lost_station_count=costs.lost_station_count,
+            transcript=outcome.transcript,
+            costs=costs,
+        )
+        self._record(report.transcript_bytes())
+        return report
+
+    def _record(self, transcript: bytes) -> None:
+        self._transcripts.append(transcript)
+        self._round_index += 1
+
+    def transcript_bytes(self) -> bytes:
+        """The cluster-level replay token.
+
+        Every facade-recorded round's canonical transcript under a
+        ``== round N ==`` header — the same framing as
+        :meth:`repro.workloads.result.WorkloadResult.transcript_bytes`, so a
+        scenario driven by hand through the facade compares byte-for-byte
+        against an engine-driven run.
+        """
+        parts: list[bytes] = []
+        for index, transcript in enumerate(self._transcripts):
+            parts.append(b"== round %d ==\n" % index)
+            parts.append(transcript)
+            parts.append(b"\n")
+        return b"".join(parts)
+
+    # -- sessions --------------------------------------------------------------
+
+    def open_session(self, mode: str = "rounds") -> "ClusterSession":
+        """Open the one drive handle, in either drive style.
+
+        ``mode="rounds"`` replays every :meth:`ClusterSession.step` as a full
+        wire round; ``mode="deltas"`` keeps one continuous matching session
+        alive and ships only the dirty stations' deltas per step — the
+        steady-state serving model.  Only one session may be open at a time.
+        """
+        if mode not in SESSION_MODES:
+            raise ConfigurationError(
+                f"session mode must be one of {SESSION_MODES}, got {mode!r}"
+            )
+        if self._session is not None:
+            raise ClusterStateError(
+                "a session is already open on this cluster; close it first"
+            )
+        self._require_protocol()
+        handle = ClusterSession(self, mode, self._epoch)
+        self._session = handle
+        return handle
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Freeze the cluster's restorable state.
+
+        The snapshot captures the subscription, every station's published
+        patterns, the round counter and the recorded transcripts.  An open
+        delta session holds incremental matching state the snapshot cannot
+        represent, so snapshotting is refused while one is open.
+        """
+        if self._session is not None and self._session.mode == "deltas":
+            raise ClusterStateError(
+                "cannot snapshot while a delta session is open; close it first"
+            )
+        return ClusterSnapshot(
+            queries=self._queries,
+            patterns=tuple(self._patterns.items()),
+            round_index=self._round_index,
+            transcripts=tuple(self._transcripts),
+        )
+
+    def restore(self, snapshot: ClusterSnapshot) -> None:
+        """Reinstall a snapshot, invalidating any open session handle.
+
+        After restoring, the cluster continues exactly as if the intervening
+        mutations never happened: the same subscription, published patterns
+        and round counter, so subsequent rounds extend the restored
+        transcript byte-identically.
+        """
+        if not isinstance(snapshot, ClusterSnapshot):
+            raise TypeError(
+                f"snapshot must be a ClusterSnapshot, got {type(snapshot).__name__}"
+            )
+        self._epoch += 1
+        self._session = None
+        self._queries = snapshot.queries
+        self._patterns = dict(snapshot.patterns)
+        self._nodes = {
+            station_id: BaseStationNode(station_id, patterns)
+            for station_id, patterns in self._patterns.items()
+        }
+        self._round_index = snapshot.round_index
+        self._transcripts = list(snapshot.transcripts)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down worker pools and detach any open session handle."""
+        for runner in self._runners.values():
+            runner.close()
+        self._runners.clear()
+        self._epoch += 1
+        self._session = None
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(name={self.name!r}, stations={len(self._nodes)}, "
+            f"queries={len(self._queries)}, rounds={self._round_index})"
+        )
+
+
+class ClusterSession:
+    """The one drive handle over an open :class:`Cluster`.
+
+    Both drive styles share the verbs: ``publish`` / ``retire`` mutate the
+    station side, ``subscribe`` rotates the query batch, ``step`` advances
+    one round and returns a typed :class:`~repro.cluster.report.RoundReport`.
+    In ``rounds`` mode each step is a full wire round (churn is expressed per
+    step through ``RoundOptions.station_ids``); in ``deltas`` mode one
+    :class:`~repro.core.streaming.ContinuousMatchingSession` spans all steps
+    and only the dirty stations' report deltas ship through the seeded
+    transport, while the center keeps serving the last state each station
+    *delivered* — an undelivered delta leaves the previous ranking in place,
+    exactly like a real deployment.
+    """
+
+    def __init__(self, cluster: Cluster, mode: str, epoch: int) -> None:
+        self._cluster = cluster
+        self._mode = mode
+        self._epoch = epoch
+        # Delta-mode state: the continuous session materializes on the first
+        # publish (it needs the subscription), plus the center-side view of
+        # the last delta each station delivered.
+        self._inner: ContinuousMatchingSession | None = None
+        self._center = DataCenterNode()
+        self._delivered_reports: dict[str, list[object]] = {}
+        self._artifact_bytes = 0
+        self._refreshed = bool(cluster.queries)
+        self._newly_published: set[str] = set()
+
+    @property
+    def mode(self) -> str:
+        """The drive style of this handle (``"rounds"`` or ``"deltas"``)."""
+        return self._mode
+
+    @property
+    def active_station_ids(self) -> tuple[str, ...]:
+        """Stations currently participating in the session."""
+        self._check_live()
+        if self._mode == "deltas" and self._inner is not None:
+            return tuple(self._inner.station_ids)
+        return self._cluster.station_ids
+
+    @property
+    def dirty_station_ids(self) -> tuple[str, ...]:
+        """Delta mode: stations changed since the last shipped step."""
+        self._check_live()
+        if self._inner is None:
+            return ()
+        return self._inner.dirty_station_ids
+
+    def _check_live(self) -> None:
+        if (
+            self._cluster._session is not self
+            or self._epoch != self._cluster._epoch
+        ):
+            raise ClusterStateError(
+                "this session handle was invalidated (the cluster was "
+                "restored, closed, or opened a new session)"
+            )
+
+    # -- shared verbs ----------------------------------------------------------
+
+    def publish(self, station_id: str, patterns: PatternSet) -> int:
+        """Register (or replace) one station's data within the session."""
+        self._check_live()
+        return self._cluster.publish(station_id, patterns)
+
+    def retire(self, station_id: str) -> None:
+        """Withdraw a station from the session."""
+        self._check_live()
+        self._cluster.retire(station_id)
+
+    def subscribe(self, queries: Sequence[QueryPattern]) -> None:
+        """Rotate the session's query batch (incremental re-encode in deltas mode)."""
+        self._check_live()
+        self._cluster.subscribe(queries)
+
+    def step(
+        self,
+        options: RoundOptions | None = None,
+        *,
+        station_ids: Sequence[str] | None = None,
+        net_seed: int | None = None,
+        k: int | None = None,
+    ) -> RoundReport:
+        """Advance the session by one round and return its typed report."""
+        self._check_live()
+        merged = RoundOptions.merge(options, station_ids=station_ids, net_seed=net_seed, k=k)
+        if self._mode == "rounds":
+            return self._cluster.round(merged)
+        return self._step_deltas(merged)
+
+    def close(self) -> None:
+        """Detach the handle from the cluster (idempotent)."""
+        if self._cluster._session is self:
+            self._cluster._session = None
+
+    def __enter__(self) -> "ClusterSession":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # -- delta internals -------------------------------------------------------
+
+    def _ensure_inner(self) -> ContinuousMatchingSession:
+        if self._inner is None:
+            queries = self._cluster.queries
+            if not queries:
+                raise ClusterStateError(
+                    "subscribe() a query batch before publishing to a delta session"
+                )
+            self._inner = ContinuousMatchingSession._internal(
+                self._cluster._require_protocol(), queries
+            )
+            self._artifact_bytes = _artifact_size_bytes(self._inner.artifact)
+        return self._inner
+
+    def _on_publish(self, station_id: str, patterns: PatternSet) -> None:
+        if self._mode != "deltas":
+            return
+        inner = self._ensure_inner()
+        if station_id not in set(inner.station_ids):
+            self._newly_published.add(station_id)
+        inner.update_station(station_id, patterns)
+
+    def _on_retire(self, station_id: str) -> None:
+        if self._mode != "deltas" or self._inner is None:
+            return
+        self._inner.remove_station(station_id)
+        self._delivered_reports.pop(station_id, None)
+        self._newly_published.discard(station_id)
+
+    def _on_subscribe(self, queries: tuple[QueryPattern, ...]) -> None:
+        if self._mode != "deltas":
+            return
+        self._refreshed = True
+        if self._inner is not None:
+            self._inner.replace_queries(queries)
+            self._artifact_bytes = _artifact_size_bytes(self._inner.artifact)
+
+    def _step_deltas(self, options: RoundOptions) -> RoundReport:
+        if options.station_ids is not None:
+            raise ValueError(
+                "station_ids does not apply to a delta session; express churn "
+                "through publish()/retire()"
+            )
+        inner = self._ensure_inner()
+        cluster = self._cluster
+        protocol = cluster._require_protocol()
+        active_count = len(inner.station_ids)
+        # Downlink is charged when the artifact changed (rotation: every
+        # active station re-downloads it) and for stations that joined since
+        # the last step (they receive the current artifact before matching).
+        if self._refreshed:
+            downlink_bytes = self._artifact_bytes * active_count
+        else:
+            downlink_bytes = self._artifact_bytes * len(self._newly_published)
+        network = cluster._network_for(protocol, options.net_seed)
+        self._center.clear_inbox()
+        delivered = inner.ship_deltas(network, self._center)
+        for sender, reports in self._center.reports_by_sender().items():
+            self._delivered_reports[sender] = list(reports)
+        results = protocol.aggregate(
+            [
+                report
+                for reports in self._delivered_reports.values()
+                for report in reports
+            ],
+            options.k,
+        )
+        stats = network.frame_stats()
+        report = RoundReport(
+            round_index=cluster._round_index,
+            mode="delta",
+            results=results,
+            query_count=len(cluster.queries),
+            active_station_count=active_count,
+            downlink_bytes=downlink_bytes,
+            uplink_bytes=network.uplink_bytes,
+            latency_s=network.transmission_time_s(),
+            goodput_fraction=stats.goodput_fraction,
+            retransmit_count=stats.retransmit_count,
+            lost_station_count=len(inner.dirty_station_ids),
+            transcript=network.transcript,
+            delivered_station_ids=tuple(delivered),
+        )
+        self._refreshed = False
+        self._newly_published.clear()
+        cluster._record(report.transcript_bytes())
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterSession(mode={self._mode!r}, "
+            f"cluster={self._cluster.name!r})"
+        )

@@ -1,0 +1,280 @@
+"""Typed, validated specification of one cluster deployment.
+
+A :class:`ClusterSpec` is everything needed to stand up the distributed
+matching system behind one :class:`~repro.cluster.facade.Cluster` facade: the
+synthetic city to serve (:class:`~repro.datagen.workload.DatasetSpec`), the
+matching protocol the data center runs (:class:`ProtocolSpec`), the simulated
+backhaul (:class:`TransportSpec`), the station-execution backend
+(:class:`ExecutorSpec`) and the seeded fault environment (:class:`FaultSpec`).
+Like :class:`~repro.workloads.spec.WorkloadSpec` every field is validated at
+construction with :class:`~repro.core.exceptions.ConfigurationError`, so a
+mis-built deployment fails before any traffic moves.
+
+Sub-spec fields that default to ``None`` mean *defer to the protocol's own*
+:class:`~repro.core.config.DIMatchingConfig` — the same resolution order the
+legacy ``DistributedSimulation`` constructor used, so specs compiled from
+older call sites behave identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.core.config import (
+    DIMatchingConfig,
+    EXECUTOR_CHOICES,
+    FAULT_PROFILE_CHOICES,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.datagen.workload import DatasetSpec
+from repro.distributed.network import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import MatchingProtocol
+    from repro.workloads.spec import WorkloadSpec
+
+#: Protocols the facade can deploy, matching the evaluation vocabulary.
+PROTOCOL_METHODS = ("naive", "local", "bf", "wbf")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Which matching protocol the deployment's data center runs.
+
+    ``config`` carries the full :class:`DIMatchingConfig` for the filter-based
+    methods; when ``None`` a default configuration with ``int(epsilon)`` is
+    built.  The baselines (``naive`` / ``local``) only consume ``epsilon``.
+    """
+
+    method: str = "wbf"
+    epsilon: float = 0.0
+    config: DIMatchingConfig | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.method in PROTOCOL_METHODS,
+            f"method must be one of {PROTOCOL_METHODS}, got {self.method!r}",
+        )
+        _require(
+            isinstance(self.epsilon, (int, float))
+            and not isinstance(self.epsilon, bool)
+            and float(self.epsilon) >= 0.0,
+            f"epsilon must be >= 0, got {self.epsilon!r}",
+        )
+        _require(
+            self.config is None or isinstance(self.config, DIMatchingConfig),
+            f"config must be a DIMatchingConfig or None, got {type(self.config).__name__}",
+        )
+
+    def resolved_config(self) -> DIMatchingConfig:
+        """The effective protocol configuration."""
+        return self.config or DIMatchingConfig(epsilon=int(self.epsilon))
+
+    def build(self) -> "MatchingProtocol":
+        """Instantiate the configured protocol."""
+        # Imported here so the spec module stays importable without pulling in
+        # the whole protocol stack at definition time.
+        from repro.baselines import (
+            BloomFilterProtocol,
+            LocalOnlyProtocol,
+            NaiveProtocol,
+        )
+        from repro.core.dimatching import DIMatchingProtocol
+
+        if self.method == "naive":
+            return NaiveProtocol(epsilon=float(self.epsilon))
+        if self.method == "local":
+            return LocalOnlyProtocol(epsilon=float(self.epsilon))
+        if self.method == "bf":
+            return BloomFilterProtocol(self.resolved_config())
+        return DIMatchingProtocol(self.resolved_config())
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Link and reliability parameters of the simulated backhaul."""
+
+    bandwidth_bytes_per_s: float = 2_000_000.0
+    latency_s: float = 0.02
+    max_attempts: int = 8
+    retransmit_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            # NetworkConfig owns the invariants; building one surfaces any
+            # violation as the facade's ConfigurationError.
+            self.network_config()
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(str(error)) from error
+
+    def network_config(self) -> NetworkConfig:
+        """The :class:`NetworkConfig` this spec describes."""
+        return NetworkConfig(
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            latency_s=self.latency_s,
+            max_attempts=self.max_attempts,
+            retransmit_timeout_s=self.retransmit_timeout_s,
+        )
+
+    @classmethod
+    def from_network_config(cls, config: NetworkConfig | None) -> "TransportSpec":
+        """Lift an existing :class:`NetworkConfig` into a spec (``None`` = defaults)."""
+        if config is None:
+            return cls()
+        return cls(
+            bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+            latency_s=config.latency_s,
+            max_attempts=config.max_attempts,
+            retransmit_timeout_s=config.retransmit_timeout_s,
+        )
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Station-execution backend of the matching phase.
+
+    ``kind=None`` / ``shard_count=None`` defer to the protocol's
+    :class:`DIMatchingConfig` (``executor`` / ``shard_count``), exactly like
+    the legacy simulator constructor's ``None`` defaults.
+    """
+
+    kind: str | None = None
+    shard_count: int | None = None
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind is None or self.kind in EXECUTOR_CHOICES,
+            f"executor kind must be one of {EXECUTOR_CHOICES} or None, got {self.kind!r}",
+        )
+        _require(
+            self.shard_count is None
+            or (isinstance(self.shard_count, int) and self.shard_count >= 0),
+            f"shard_count must be a non-negative integer (0 = auto) or None, "
+            f"got {self.shard_count!r}",
+        )
+        _require(
+            self.max_workers is None
+            or (isinstance(self.max_workers, int) and self.max_workers >= 1),
+            f"max_workers must be a positive integer or None, got {self.max_workers!r}",
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded fault environment of the deployment's transport.
+
+    ``profile=None`` / ``net_seed=None`` defer to the protocol's
+    configuration (``fault_profile`` / ``net_seed``).  ``allow_partial`` lets
+    rounds survive stations that exhaust their retransmission budget.
+    """
+
+    profile: str | None = None
+    net_seed: int | None = None
+    allow_partial: bool = False
+
+    def __post_init__(self) -> None:
+        _require(
+            self.profile is None or self.profile in FAULT_PROFILE_CHOICES,
+            f"fault profile must be one of {FAULT_PROFILE_CHOICES} or None, "
+            f"got {self.profile!r}",
+        )
+        _require(
+            self.net_seed is None
+            or (isinstance(self.net_seed, int) and not isinstance(self.net_seed, bool)),
+            f"net_seed must be an integer or None, got {self.net_seed!r}",
+        )
+        _require(
+            isinstance(self.allow_partial, bool),
+            f"allow_partial must be a bool, got {self.allow_partial!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One complete, validated cluster deployment."""
+
+    name: str = "cluster"
+    #: Synthetic city to build; ``None`` means a pre-built dataset is adopted
+    #: at :class:`~repro.cluster.facade.Cluster` construction time.
+    dataset: DatasetSpec | None = None
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    transport: TransportSpec = field(default_factory=TransportSpec)
+    executor: ExecutorSpec = field(default_factory=ExecutorSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            f"name must be a non-empty string, got {self.name!r}",
+        )
+        _require(
+            self.dataset is None or isinstance(self.dataset, DatasetSpec),
+            f"dataset must be a DatasetSpec or None, got {type(self.dataset).__name__}",
+        )
+        for attribute, expected in (
+            ("protocol", ProtocolSpec),
+            ("transport", TransportSpec),
+            ("executor", ExecutorSpec),
+            ("faults", FaultSpec),
+        ):
+            value = getattr(self, attribute)
+            _require(
+                isinstance(value, expected),
+                f"{attribute} must be a {expected.__name__}, got {type(value).__name__}",
+            )
+
+    def with_updates(self, **changes: object) -> "ClusterSpec":
+        """A copy of this spec with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: "WorkloadSpec",
+        *,
+        executor: str | None = None,
+        shard_count: int | None = None,
+        bit_backend: str = "auto",
+        network_config: NetworkConfig | None = None,
+    ) -> "ClusterSpec":
+        """Compile a :class:`~repro.workloads.spec.WorkloadSpec` into a deployment.
+
+        The dataset seed is derived from the workload identity exactly like the
+        pre-facade engine (``derive_seed(seed, "workload-dataset", name)``), so
+        a workload driven through the compiled cluster replays the same
+        byte-identical transcript.
+        """
+        from repro.utils.rng import derive_seed
+
+        dataset = DatasetSpec(
+            users_per_category=workload.users_per_category,
+            station_count=workload.station_count,
+            days=workload.days,
+            intervals_per_day=workload.intervals_per_day,
+            noise_level=workload.noise_level,
+            seed=derive_seed(workload.seed, "workload-dataset", workload.name),
+        )
+        config = DIMatchingConfig(
+            epsilon=workload.epsilon,
+            bit_backend=bit_backend,
+            fault_profile=workload.fault_profile,
+        )
+        return cls(
+            name=workload.name,
+            dataset=dataset,
+            protocol=ProtocolSpec(
+                method=workload.method, epsilon=float(workload.epsilon), config=config
+            ),
+            transport=TransportSpec.from_network_config(network_config),
+            executor=ExecutorSpec(kind=executor, shard_count=shard_count),
+            faults=FaultSpec(
+                profile=workload.fault_profile, allow_partial=workload.allow_partial
+            ),
+        )

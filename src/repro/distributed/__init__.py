@@ -40,7 +40,11 @@ from repro.distributed.network import (
     SimulatedNetwork,
 )
 from repro.distributed.node import Node
-from repro.distributed.simulator import DistributedSimulation, SimulationOutcome
+from repro.distributed.simulator import (
+    DistributedSimulation,
+    RoundOptions,
+    SimulationOutcome,
+)
 
 __all__ = [
     "BaseStationNode",
@@ -67,5 +71,6 @@ __all__ = [
     "SimulatedNetwork",
     "Node",
     "DistributedSimulation",
+    "RoundOptions",
     "SimulationOutcome",
 ]

@@ -1,38 +1,25 @@
-"""Round-based simulation of one distributed matching round.
+"""Round-based simulation of one distributed matching round (legacy surface).
 
-The simulation drives any :class:`~repro.core.protocol.MatchingProtocol` through the
-three phases of Figure 2 over a :class:`~repro.datagen.workload.DistributedDataset`:
+The round engine itself lives behind the :class:`repro.cluster.Cluster`
+facade (:mod:`repro.cluster.facade`), which drives any
+:class:`~repro.core.protocol.MatchingProtocol` through the three phases of
+Figure 2 over a :class:`~repro.datagen.workload.DistributedDataset` on the
+deterministic event-driven transport.  This module keeps the pieces of the
+pre-facade public surface that remain first-class:
 
-1. the data center encodes the query batch and broadcasts the artifact to every
-   base station that stores at least one pattern (downlink traffic);
-2. every station runs its matching phase — stations are partitioned into shards
-   executed through a pluggable backend (:mod:`repro.distributed.executor`):
-   in-process serial (default, one shard per station as in the paper's
-   one-thread-per-station model), thread pool, or process pool.  The phase's
-   simulated wall time is the maximum over shards;
-3. stations upload their reports (uplink traffic, serialized at the center's
-   ingress) and the data center aggregates them into the ranked top-K.
-
-All traffic moves as *encoded wire bytes* through the deterministic
-event-driven transport (:mod:`repro.distributed.network`): messages are
-framed, exposed to the round's seeded fault plan (drop / duplicate / corrupt /
-reorder / jitter / stragglers / blackouts), delivered reliably by the data
-center's ack/retransmit policy, and decoded by the receiving node — so a
-corrupted frame exercises the real
-:class:`~repro.wire.errors.WireFormatError` path and a surviving round is
-always exactly correct.  The matching phase runs against the artifact the
-stations actually decoded off the wire; the uplink aggregation consumes the
-report objects the center decoded.  Byte counts are the real encoded lengths
-(the estimate model only backs up payloads outside the codec's vocabulary),
-and under the all-zero fault plan the outcome is byte-for-byte identical to
-the legacy accounting model.  The outcome bundles the ranked results with a
-:class:`~repro.distributed.metrics.CostReport` (including retransmit /
-goodput counters) and the round's replayable event transcript.
+* :class:`SimulationOutcome` — the typed result of one full wire round;
+* :class:`RoundOptions` — the single bag of per-round overrides (station
+  subset, transport seed, ranking cutoff) accepted by both
+  :meth:`Cluster.round` and the legacy shim below;
+* :class:`DistributedSimulation` — a thin **deprecated** shim over the facade
+  kept so existing call sites continue to work unchanged; it emits one
+  :class:`DeprecationWarning` at construction and delegates every round to
+  the same engine the facade drives.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -41,16 +28,15 @@ from repro.core.protocol import MatchingProtocol, RankedResults
 from repro.distributed.basestation import BaseStationNode
 from repro.distributed.datacenter import DataCenterNode
 from repro.distributed.events import TranscriptEntry, transcript_to_bytes
-from repro.distributed.executor import ShardedStationRunner, merge_shard_outcomes
-from repro.distributed.faults import FaultPlan, resolve_fault_plan
-from repro.distributed.messages import Message, MessageKind
-from repro.distributed.metrics import CostReport
-from repro.distributed.network import NetworkConfig, SimulatedNetwork
+from repro.distributed.faults import FaultPlan
+from repro.distributed.network import NetworkConfig
 from repro.timeseries.query import QueryPattern
 from repro.utils.serialization import estimate_size_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.cluster.facade import Cluster
     from repro.datagen.workload import DistributedDataset
+    from repro.distributed.metrics import CostReport
 
 
 @dataclass(frozen=True)
@@ -59,7 +45,7 @@ class SimulationOutcome:
 
     method: str
     results: RankedResults
-    costs: CostReport
+    costs: "CostReport"
     #: The round's deterministic network transcript — identical seeds and
     #: fault profile reproduce these entries byte-for-byte (see
     #: :func:`repro.distributed.events.transcript_to_bytes`).
@@ -75,6 +61,68 @@ class SimulationOutcome:
         return transcript_to_bytes(self.transcript)
 
 
+@dataclass(frozen=True)
+class RoundOptions:
+    """Per-round overrides, collapsed into one typed value.
+
+    ``station_ids`` restricts the round to a subset of stations (how a
+    multi-round driver models churn: an absent station neither receives the
+    artifact nor uploads a report); ``net_seed`` overrides the transport seed
+    for this round only, so a workload driver can derive one deterministic
+    seed per round from a single scenario seed; ``k`` is the ranking cutoff
+    (``None`` = the protocol's natural cutoff).  Accepted by both
+    :meth:`repro.cluster.Cluster.round` and the deprecated
+    :meth:`DistributedSimulation.run` shim.
+    """
+
+    station_ids: tuple[str, ...] | None = None
+    net_seed: int | None = None
+    k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.station_ids is not None:
+            object.__setattr__(
+                self,
+                "station_ids",
+                tuple(str(station_id) for station_id in self.station_ids),
+            )
+        if self.net_seed is not None and (
+            not isinstance(self.net_seed, int) or isinstance(self.net_seed, bool)
+        ):
+            raise ValueError(f"net_seed must be an integer or None, got {self.net_seed!r}")
+        if self.k is not None and (not isinstance(self.k, int) or self.k < 0):
+            raise ValueError(f"k must be a non-negative integer or None, got {self.k!r}")
+
+    @classmethod
+    def merge(
+        cls,
+        options: "RoundOptions | None",
+        station_ids: Sequence[str] | None = None,
+        net_seed: int | None = None,
+        k: int | None = None,
+    ) -> "RoundOptions":
+        """Fold legacy keyword overrides and an options bag into one value.
+
+        Passing both an ``options`` object and any loose keyword is an error —
+        the caller must pick one spelling per round.
+        """
+        loose = station_ids is not None or net_seed is not None or k is not None
+        if options is not None:
+            if loose:
+                raise ValueError(
+                    "pass per-round overrides either as RoundOptions or as "
+                    "keyword arguments, not both"
+                )
+            return options
+        if not loose:
+            return cls()
+        return cls(
+            station_ids=tuple(station_ids) if station_ids is not None else None,
+            net_seed=net_seed,
+            k=k,
+        )
+
+
 def _artifact_size_bytes(artifact: object | None) -> int:
     """Actual encoded size of a distributed artifact (estimate as fallback)."""
     if artifact is None:
@@ -86,7 +134,16 @@ def _artifact_size_bytes(artifact: object | None) -> int:
 
 
 class DistributedSimulation:
-    """Drives matching protocols over a distributed dataset with cost accounting.
+    """Deprecated constructor-style driver, kept as a shim over the facade.
+
+    .. deprecated::
+        Construct a :class:`repro.cluster.Cluster` instead (adopt an existing
+        dataset with ``Cluster(spec, dataset=...)``) and call
+        :meth:`~repro.cluster.Cluster.round` /
+        :meth:`~repro.cluster.Cluster.drive`.  This shim emits one
+        :class:`DeprecationWarning` at construction and forwards every call to
+        the same engine the facade drives, so behavior (results, byte counts,
+        transcripts) is identical.
 
     ``executor`` / ``shard_count`` / ``max_workers`` select how the station
     phase runs (see :mod:`repro.distributed.executor`).  ``fault_plan`` (a
@@ -95,15 +152,8 @@ class DistributedSimulation:
     frames.  When any of these is ``None`` the simulation defers to the
     protocol's configuration (``DIMatchingConfig.executor`` /
     ``fault_profile`` / ``net_seed``) and falls back to fault-free serial
-    execution for protocols without one.  Executor choice never changes
-    results, byte counts or the network transcript — only measured
-    wall-clock; the fault plan and network seed never change what a
-    *surviving* round computes, only what it costs.
-
-    ``allow_partial=True`` lets a round survive transfers that exhaust their
-    retransmission budget: timed-out stations drop out (tracked in
-    ``CostReport.lost_station_count``) instead of failing the round with a
-    :class:`~repro.distributed.events.RoundTimeoutError`.
+    execution for protocols without one.  ``allow_partial=True`` lets a round
+    survive transfers that exhaust their retransmission budget.
     """
 
     def __init__(
@@ -117,90 +167,49 @@ class DistributedSimulation:
         net_seed: int | None = None,
         allow_partial: bool = False,
     ) -> None:
-        self._dataset = dataset
-        self._network_config = network_config or NetworkConfig()
-        self._executor = executor
-        self._shard_count = shard_count
-        self._max_workers = max_workers
-        self._fault_plan = fault_plan
-        self._net_seed = net_seed
-        self._allow_partial = bool(allow_partial)
-        self._runners: dict[tuple[str, int], ShardedStationRunner] = {}
-        self._center = DataCenterNode()
-        self._stations: list[BaseStationNode] = []
-        for station_id in dataset.station_ids:
-            patterns = dataset.local_patterns_at(station_id)
-            if len(patterns) == 0:
-                continue
-            self._stations.append(BaseStationNode(station_id, patterns))
+        warnings.warn(
+            "DistributedSimulation is deprecated; drive rounds through the "
+            "repro.cluster.Cluster facade instead (Cluster(spec, dataset=...)"
+            ".drive(...) is the drop-in equivalent of run(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.cluster.facade import Cluster
+
+        self._cluster = Cluster.adopt(
+            dataset,
+            network_config=network_config,
+            executor=executor,
+            shard_count=shard_count,
+            max_workers=max_workers,
+            fault_plan=fault_plan,
+            net_seed=net_seed,
+            allow_partial=allow_partial,
+        )
+
+    @property
+    def cluster(self) -> "Cluster":
+        """The facade instance this shim delegates to."""
+        return self._cluster
 
     @property
     def dataset(self) -> "DistributedDataset":
         """The dataset the simulation runs over."""
-        return self._dataset
+        return self._cluster.dataset
 
     @property
     def stations(self) -> list[BaseStationNode]:
         """The base-station nodes that store at least one pattern."""
-        return list(self._stations)
+        return self._cluster.stations
 
     @property
     def center(self) -> DataCenterNode:
         """The data-center node."""
-        return self._center
-
-    def _runner_for(self, protocol: MatchingProtocol) -> ShardedStationRunner:
-        """Resolve the station runner from explicit args, protocol config, defaults.
-
-        Runners (and therefore their worker pools) are memoized per effective
-        ``(executor, shard_count)``, so a sweep of many rounds through one
-        simulation reuses one pool instead of re-spawning workers per round.
-        """
-        config = getattr(protocol, "config", None)
-        executor = self._executor or getattr(config, "executor", "serial")
-        shard_count = (
-            self._shard_count
-            if self._shard_count is not None
-            else getattr(config, "shard_count", 0)
-        )
-        key = (executor, shard_count)
-        runner = self._runners.get(key)
-        if runner is None:
-            runner = ShardedStationRunner(
-                executor=executor, shard_count=shard_count, max_workers=self._max_workers
-            )
-            self._runners[key] = runner
-        return runner
-
-    def _network_for(
-        self, protocol: MatchingProtocol, net_seed: int | None = None
-    ) -> SimulatedNetwork:
-        """Fresh per-round transport, faults resolved like the executor knobs."""
-        config = getattr(protocol, "config", None)
-        plan = resolve_fault_plan(
-            self._fault_plan
-            if self._fault_plan is not None
-            else getattr(config, "fault_profile", "none")
-        )
-        if net_seed is None:
-            net_seed = (
-                self._net_seed
-                if self._net_seed is not None
-                else getattr(config, "net_seed", 0)
-            )
-        return SimulatedNetwork(
-            self._network_config,
-            fault_plan=plan,
-            seed=net_seed,
-            decode_backend=getattr(config, "bit_backend", "auto"),
-            allow_partial=self._allow_partial,
-        )
+        return self._cluster.center
 
     def close(self) -> None:
         """Shut down any worker pools the simulation spun up."""
-        for runner in self._runners.values():
-            runner.close()
-        self._runners.clear()
+        self._cluster.close()
 
     def __enter__(self) -> "DistributedSimulation":
         return self
@@ -208,152 +217,23 @@ class DistributedSimulation:
     def __exit__(self, *_exc_info: object) -> None:
         self.close()
 
-    def _participants(self, station_ids: Sequence[str] | None) -> list[BaseStationNode]:
-        """Resolve one round's participating stations (``None`` = all of them).
-
-        ``station_ids`` is how a multi-round driver models churn: a station
-        absent from the round's set neither receives the artifact nor uploads
-        a report, exactly like a cell that joined the network after the round
-        or left before it.  Ids must name dataset stations; ids of stations
-        that store no patterns are tolerated (they never participate anyway).
-        """
-        if station_ids is None:
-            return self._stations
-        wanted = {str(station_id) for station_id in station_ids}
-        unknown = wanted - set(self._dataset.station_ids)
-        if unknown:
-            raise ValueError(
-                f"unknown station ids {sorted(unknown)!r}; "
-                f"expected a subset of the dataset's stations"
-            )
-        return [station for station in self._stations if station.node_id in wanted]
-
     def run(
         self,
         protocol: MatchingProtocol,
         queries: Sequence[QueryPattern],
         k: int | None = None,
         *,
+        options: RoundOptions | None = None,
         station_ids: Sequence[str] | None = None,
         net_seed: int | None = None,
     ) -> SimulationOutcome:
         """Execute one full matching round and return results plus costs.
 
-        ``station_ids`` restricts the round to a subset of stations (churn:
-        joined/left stations between rounds of a multi-round workload);
-        ``net_seed`` overrides the transport seed for this round only, so a
-        workload driver can derive one deterministic seed per round from a
-        single scenario seed.  Raises
+        Per-round overrides travel either as one :class:`RoundOptions` or as
+        the legacy ``station_ids`` / ``net_seed`` keywords (not both).  Raises
         :class:`~repro.distributed.events.RoundTimeoutError` when a transfer
         cannot be delivered within the retransmission budget and the
         simulation was not constructed with ``allow_partial=True``.
         """
-        participants = self._participants(station_ids)
-        network = self._network_for(protocol, net_seed)
-        self._center.clear_inbox()
-        for station in self._stations:
-            station.clear_inbox()
-
-        # Phase 1: encoding at the data center, then reliable dissemination —
-        # every station decodes the artifact from the wire bytes it received.
-        encode_start = time.perf_counter()
-        artifact = self._center.encode(protocol, queries)
-        encode_time = time.perf_counter() - encode_start
-
-        downlink_sends: list[tuple[Message, BaseStationNode]] = []
-        for station in participants:
-            message = Message(
-                sender=self._center.node_id,
-                recipient=station.node_id,
-                # The naive method distributes no artifact: stations receive
-                # only a tiny control trigger.
-                kind=(
-                    MessageKind.FILTER_DISSEMINATION
-                    if artifact is not None
-                    else MessageKind.CONTROL
-                ),
-                payload=artifact,
-            )
-            downlink_sends.append((message, station))
-        downlink = network.broadcast(downlink_sends)
-        lost_stations = set(downlink.failed_ids)
-        active_stations = [s for s in participants if s.node_id not in lost_stations]
-
-        # The matching phase runs against what actually crossed the wire: the
-        # artifact one surviving station decoded.  All surviving copies are
-        # equal by the transport's integrity guarantee (checksum + canonical
-        # codec), so one decoded instance is shared across shards rather than
-        # shipping N copies to process workers.
-        matching_artifact = (
-            active_stations[0].latest_artifact() if active_stations else artifact
-        )
-
-        # Phase 2: sharded per-station matching; simulated wall time is the
-        # maximum over shards (shards run concurrently, a shard sequentially).
-        runner = self._runner_for(protocol)
-        shard_outcomes = runner.run(protocol, active_stations, matching_artifact)
-        reports_by_station = merge_shard_outcomes(shard_outcomes)
-        shard_times = [outcome.elapsed_s for outcome in shard_outcomes]
-
-        # Phase 3a: reliable uplink in deterministic station order (frames
-        # serialize at the center's ingress independently of shard layout).
-        uplink_sends: list[tuple[Message, DataCenterNode]] = []
-        for station in active_stations:
-            reports = reports_by_station[station.node_id]
-            message = Message(
-                sender=station.node_id,
-                recipient=self._center.node_id,
-                kind=MessageKind.MATCH_REPORT,
-                payload=reports,
-            )
-            uplink_sends.append((message, self._center))
-        uplink = network.gather(uplink_sends)
-        lost_stations.update(uplink.failed_ids)
-
-        # Phase 3b: aggregation over the reports the center actually decoded,
-        # consumed in canonical station order so delivery reordering can never
-        # change the ranking.
-        decoded_by_sender = self._center.reports_by_sender()
-        uplink_payload_bytes = 0
-        all_reports: list[object] = []
-        for message, _receiver in uplink_sends:
-            if message.sender in decoded_by_sender:
-                uplink_payload_bytes += message.payload_bytes()
-                all_reports.extend(decoded_by_sender[message.sender])
-        aggregate_start = time.perf_counter()
-        results = self._center.aggregate(protocol, all_reports, k)
-        aggregate_time = time.perf_counter() - aggregate_start
-
-        stats = network.frame_stats()
-        artifact_bytes = _artifact_size_bytes(artifact)
-        costs = CostReport(
-            method=protocol.name,
-            downlink_bytes=network.downlink_bytes,
-            uplink_bytes=network.uplink_bytes,
-            message_count=network.message_count,
-            # The center keeps the artifact it built plus everything it received;
-            # every station keeps the artifact it received on top of its raw data.
-            storage_center_bytes=artifact_bytes + uplink_payload_bytes,
-            storage_station_bytes=artifact_bytes * len(active_stations),
-            encode_time_s=encode_time,
-            station_time_s=max(shard_times) if shard_times else 0.0,
-            aggregate_time_s=aggregate_time,
-            transmission_time_s=network.transmission_time_s(),
-            report_count=len(all_reports),
-            executor=runner.executor,
-            shard_count=len(shard_outcomes),
-            fault_profile=network.fault_plan.name,
-            net_seed=network.seed,
-            retransmit_count=stats.retransmit_count,
-            dropped_frame_count=stats.frames_dropped,
-            duplicate_frame_count=stats.frames_duplicate,
-            corrupt_frame_count=stats.frames_corrupt,
-            lost_station_count=len(lost_stations),
-            goodput_fraction=stats.goodput_fraction,
-        )
-        return SimulationOutcome(
-            method=protocol.name,
-            results=results,
-            costs=costs,
-            transcript=network.transcript,
-        )
+        merged = RoundOptions.merge(options, station_ids=station_ids, net_seed=net_seed, k=k)
+        return self._cluster.drive(protocol, queries, options=merged)

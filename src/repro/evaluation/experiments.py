@@ -13,9 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.baselines import BloomFilterProtocol, LocalOnlyProtocol, NaiveProtocol
 from repro.core.config import DIMatchingConfig
-from repro.core.dimatching import DIMatchingProtocol
 from repro.core.protocol import MatchingProtocol
 from repro.datagen.ground_truth import PAPER_STUDY_DAYS, build_ground_truth_cohort
 from repro.datagen.workload import (
@@ -25,10 +23,11 @@ from repro.datagen.workload import (
     build_dataset,
     build_query_workload,
 )
+from repro.cluster.facade import Cluster
+from repro.cluster.spec import PROTOCOL_METHODS, ProtocolSpec
 from repro.distributed.faults import FaultPlan
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig
-from repro.distributed.simulator import DistributedSimulation
 from repro.evaluation.metrics import RetrievalMetrics, evaluate_retrieval
 from repro.timeseries.query import QueryPattern
 from repro.utils.validation import require_non_empty, require_non_negative, require_positive
@@ -93,20 +92,20 @@ def make_protocols(
     epsilon: float,
     methods: Sequence[str] = DEFAULT_METHODS,
 ) -> list[MatchingProtocol]:
-    """Instantiate the protocols named in ``methods`` with a shared configuration."""
+    """Instantiate the protocols named in ``methods`` with a shared configuration.
+
+    The method-to-protocol mapping itself lives in
+    :meth:`repro.cluster.spec.ProtocolSpec.build` — this helper only adds the
+    shared-config, many-methods convenience the comparison harness wants.
+    """
     require_non_empty(methods, "methods")
     protocols: list[MatchingProtocol] = []
     for method in methods:
-        if method == "naive":
-            protocols.append(NaiveProtocol(epsilon=epsilon))
-        elif method == "local":
-            protocols.append(LocalOnlyProtocol(epsilon=epsilon))
-        elif method == "bf":
-            protocols.append(BloomFilterProtocol(config))
-        elif method == "wbf":
-            protocols.append(DIMatchingProtocol(config))
-        else:
+        if method not in PROTOCOL_METHODS:
             raise ValueError(f"unknown method {method!r}; expected naive/local/bf/wbf")
+        protocols.append(
+            ProtocolSpec(method=method, epsilon=float(epsilon), config=config).build()
+        )
     return protocols
 
 
@@ -147,7 +146,10 @@ def run_comparison(
     truth = ground_truth_users(dataset, queries, workload.epsilon)
     cutoff = k if k is not None else len(truth)
     outcomes: dict[str, MethodOutcome] = {}
-    with DistributedSimulation(
+    # Every method's round runs through the same cluster facade engine; the
+    # adopted form keeps the legacy knob semantics (None = defer to each
+    # protocol's own configuration).
+    with Cluster.adopt(
         dataset,
         network_config,
         executor=executor,
@@ -155,9 +157,9 @@ def run_comparison(
         fault_plan=fault_plan,
         net_seed=net_seed,
         allow_partial=allow_partial,
-    ) as simulation:
+    ) as cluster:
         for protocol in make_protocols(config, workload.epsilon, methods):
-            outcome = simulation.run(protocol, queries, cutoff)
+            outcome = cluster.drive(protocol, queries, cutoff)
             retrieved = tuple(outcome.retrieved_user_ids)
             outcomes[protocol.name] = MethodOutcome(
                 method=protocol.name,

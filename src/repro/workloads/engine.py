@@ -1,20 +1,22 @@
 """The workload engine: compile a :class:`WorkloadSpec` into a multi-round drive.
 
-Two drive modes (``repro.core.config.WORKLOAD_DRIVE_CHOICES``):
+The engine is a *traffic generator* over the :class:`repro.cluster.Cluster`
+facade: it compiles the spec into a :class:`~repro.cluster.spec.ClusterSpec`
+(:meth:`ClusterSpec.from_workload`), opens one
+:class:`~repro.cluster.facade.ClusterSession` in the requested drive style and
+feeds it churn, query rotations and per-round seeds.  Two drive modes
+(``repro.core.config.WORKLOAD_DRIVE_CHOICES``):
 
-* ``simulation`` — every round is a full
-  :class:`~repro.distributed.simulator.DistributedSimulation` round: the
-  round's query batch is encoded, broadcast to the round's *active* stations
-  (churn = per-round ``station_ids`` subsets), matched under the configured
-  executor and uploaded through the event-driven transport.  Costs are the
-  real per-round wire bytes.
-* ``session`` — one long-running
-  :class:`~repro.core.streaming.ContinuousMatchingSession` spans all rounds:
-  query-batch rotations re-encode the artifact, churned stations are
-  updated/removed incrementally, and only the dirty stations' deltas ship
-  through a per-round :class:`~repro.distributed.network.SimulatedNetwork`.
-  This is the steady-state serving model, where per-round traffic is the
-  *delta*, not the whole round.
+* ``simulation`` — a ``mode="rounds"`` session: every step is a full wire
+  round (encode → broadcast to the round's *active* stations → sharded
+  matching → reliable uplink), churn expressed as per-step
+  ``RoundOptions.station_ids`` subsets.  Costs are the real per-round wire
+  bytes.
+* ``session`` — a ``mode="deltas"`` session: one continuous matching session
+  spans all rounds, query-batch rotations re-encode the artifact, churned
+  stations are published/retired incrementally, and only the dirty stations'
+  deltas ship through the seeded transport.  This is the steady-state serving
+  model, where per-round traffic is the *delta*, not the whole round.
 
 Determinism: every stochastic decision of a run — the synthetic city, each
 round's query sample, the churn draws and the transport's fault schedule —
@@ -22,29 +24,26 @@ derives from ``(spec.name, spec.seed)`` via :func:`repro.utils.rng.derive_seed`
 with a distinct label per process and round.  The resulting
 :meth:`~repro.workloads.result.WorkloadResult.transcript_bytes` is therefore
 byte-identical across runs and across station executors; the replay suite
-under ``tests/workloads/`` pins this for every registered scenario.
+under ``tests/workloads/`` pins this for every registered scenario, and pins
+it against the pre-facade engine through committed golden digests.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
-from repro.core.config import DIMatchingConfig, WORKLOAD_DRIVE_CHOICES
-from repro.core.streaming import ContinuousMatchingSession
-from repro.datagen.workload import DatasetSpec, DistributedDataset, build_dataset
-from repro.distributed.datacenter import DataCenterNode
-from repro.distributed.faults import resolve_fault_plan
-from repro.distributed.network import NetworkConfig, SimulatedNetwork
-from repro.distributed.simulator import DistributedSimulation, _artifact_size_bytes
-from repro.evaluation.experiments import ground_truth_users, make_protocols
+from repro.cluster.facade import Cluster, ClusterSession
+from repro.cluster.spec import ClusterSpec
+from repro.core.config import WORKLOAD_DRIVE_CHOICES
+from repro.datagen.workload import DistributedDataset, build_dataset
+from repro.distributed.network import NetworkConfig
+from repro.distributed.simulator import RoundOptions
+from repro.evaluation.experiments import ground_truth_users
 from repro.evaluation.metrics import evaluate_retrieval
 from repro.timeseries.query import QueryPattern
 from repro.utils.rng import derive_seed, make_rng
 from repro.workloads.result import RoundMetrics, WorkloadAggregator, WorkloadResult
 from repro.workloads.spec import WorkloadSpec
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.protocol import MatchingProtocol
 
 
 def _round_net_seed(spec: WorkloadSpec, round_index: int) -> int:
@@ -159,27 +158,6 @@ class _QuerySampler:
         return queries
 
 
-def _build_environment(spec: WorkloadSpec, bit_backend: str):
-    """Dataset + config + protocol shared by both drives."""
-    dataset = build_dataset(
-        DatasetSpec(
-            users_per_category=spec.users_per_category,
-            station_count=spec.station_count,
-            days=spec.days,
-            intervals_per_day=spec.intervals_per_day,
-            noise_level=spec.noise_level,
-            seed=derive_seed(spec.seed, "workload-dataset", spec.name),
-        )
-    )
-    config = DIMatchingConfig(
-        epsilon=spec.epsilon,
-        bit_backend=bit_backend,
-        fault_profile=spec.fault_profile,
-    )
-    protocol = make_protocols(config, float(spec.epsilon), (spec.method,))[0]
-    return dataset, config, protocol
-
-
 def run_workload(
     spec: WorkloadSpec,
     *,
@@ -189,7 +167,7 @@ def run_workload(
     bit_backend: str = "auto",
     network_config: NetworkConfig | None = None,
 ) -> WorkloadResult:
-    """Compile ``spec`` into a multi-round drive and run it to completion.
+    """Compile ``spec`` into a multi-round facade drive and run it to completion.
 
     ``executor`` / ``shard_count`` / ``bit_backend`` are local scale knobs:
     like everywhere else in the system they change wall-clock only, never the
@@ -199,7 +177,14 @@ def run_workload(
         raise ValueError(
             f"drive must be one of {WORKLOAD_DRIVE_CHOICES}, got {drive!r}"
         )
-    dataset, config, protocol = _build_environment(spec, bit_backend)
+    cluster_spec = ClusterSpec.from_workload(
+        spec,
+        executor=executor,
+        shard_count=shard_count,
+        bit_backend=bit_backend,
+        network_config=network_config,
+    )
+    dataset = build_dataset(cluster_spec.dataset)
     sampler = _QuerySampler(spec, dataset)
     aggregator = WorkloadAggregator(
         scenario=spec.name,
@@ -211,167 +196,46 @@ def run_workload(
         # executor runner; recording the knob there would misstate the run.
         executor=(executor or "serial") if drive == "simulation" else "serial",
     )
-    if drive == "simulation":
-        _drive_simulation(
-            spec, dataset, protocol, sampler, aggregator,
-            executor=executor, shard_count=shard_count,
-            network_config=network_config,
+    with Cluster(cluster_spec, dataset=dataset) as cluster:
+        session = cluster.open_session(
+            mode="rounds" if drive == "simulation" else "deltas"
         )
-    else:
-        _drive_session(
-            spec, dataset, config, protocol, sampler, aggregator,
-            network_config=network_config,
-        )
+        if drive == "simulation":
+            _drive_rounds(spec, dataset, cluster, session, sampler, aggregator)
+        else:
+            _drive_deltas(spec, dataset, cluster, session, sampler, aggregator)
     return aggregator.finish()
 
 
-def _drive_simulation(
+def _drive_rounds(
     spec: WorkloadSpec,
     dataset: DistributedDataset,
-    protocol: "MatchingProtocol",
+    cluster: Cluster,
+    session: ClusterSession,
     sampler: _QuerySampler,
     aggregator: WorkloadAggregator,
-    executor: str | None,
-    shard_count: int | None,
-    network_config: NetworkConfig | None,
 ) -> None:
-    """Full per-round simulation rounds over churned station subsets."""
-    with DistributedSimulation(
-        dataset,
-        network_config,
-        executor=executor,
-        shard_count=shard_count,
-        fault_plan=spec.fault_profile,
-        allow_partial=spec.allow_partial,
-    ) as simulation:
-        churn = _ChurnState(spec, [s.node_id for s in simulation.stations])
-        queries: list[QueryPattern] = []
-        truth: frozenset[str] = frozenset()
-        for round_index in range(spec.rounds):
-            joined, left = churn.step(round_index)
-            refreshed = spec.arrival.refreshes_at(round_index)
-            if refreshed:
-                queries = sampler.sample(
-                    round_index, spec.arrival.count_at(round_index)
-                )
-                # Ground truth is a pure function of the batch: recompute
-                # only on rotation, not per round.
-                truth = ground_truth_users(dataset, queries, float(spec.epsilon))
-            outcome = simulation.run(
-                protocol,
-                queries,
-                k=len(truth),
-                station_ids=churn.active,
-                net_seed=_round_net_seed(spec, round_index),
-            )
-            metrics = evaluate_retrieval(tuple(outcome.retrieved_user_ids), truth)
-            costs = outcome.costs
-            aggregator.add_round(
-                RoundMetrics(
-                    round_index=round_index,
-                    query_count=len(queries),
-                    active_station_count=len(churn.active),
-                    joined=joined,
-                    left=left,
-                    downlink_bytes=costs.downlink_bytes,
-                    uplink_bytes=costs.uplink_bytes,
-                    precision=metrics.precision,
-                    recall=metrics.recall,
-                    latency_s=costs.transmission_time_s,
-                    goodput_fraction=costs.goodput_fraction,
-                    retransmit_count=costs.retransmit_count,
-                    lost_station_count=costs.lost_station_count,
-                    batch_refreshed=refreshed,
-                    compute_time_s=costs.computation_time_s,
-                ),
-                outcome.transcript,
-            )
-
-
-def _drive_session(
-    spec: WorkloadSpec,
-    dataset: DistributedDataset,
-    config: DIMatchingConfig,
-    protocol: "MatchingProtocol",
-    sampler: _QuerySampler,
-    aggregator: WorkloadAggregator,
-    network_config: NetworkConfig | None,
-) -> None:
-    """One continuous session across all rounds, shipping only deltas.
-
-    Downlink is charged when the artifact changes (batch rotation — the
-    re-encoded artifact's wire size once per active station) and for every
-    station that joins mid-campaign (it must receive the current artifact
-    before it can match).  Uplink is the real wire bytes of the round's delta
-    shipment through the seeded transport, and the ranking the round reports
-    is computed from the reports the *center actually decoded off the wire* —
-    an undelivered delta (the station stays dirty and retries next round)
-    leaves the center serving the previous state, exactly like a real
-    deployment, and is visible in the round's precision/recall.
-    """
-    churn = _ChurnState(
-        spec,
-        [
-            station_id
-            for station_id in dataset.station_ids
-            if len(dataset.local_patterns_at(station_id)) > 0
-        ],
-    )
-    center = DataCenterNode()
-    session: ContinuousMatchingSession | None = None
+    """Full per-round wire rounds over churned station subsets."""
+    churn = _ChurnState(spec, cluster.station_ids)
     queries: list[QueryPattern] = []
     truth: frozenset[str] = frozenset()
-    artifact_bytes = 0
-    # The center's view: the last delta each station *delivered* (stations
-    # administratively removed by churn are dropped from it).
-    delivered_reports: dict[str, list[object]] = {}
     for round_index in range(spec.rounds):
         joined, left = churn.step(round_index)
         refreshed = spec.arrival.refreshes_at(round_index)
         if refreshed:
             queries = sampler.sample(round_index, spec.arrival.count_at(round_index))
+            # Ground truth is a pure function of the batch: recompute
+            # only on rotation, not per round.
             truth = ground_truth_users(dataset, queries, float(spec.epsilon))
-        if session is None:
-            session = ContinuousMatchingSession(protocol, queries)
-            artifact_bytes = _artifact_size_bytes(session.artifact)
-            for station_id in churn.active:
-                session.update_station(
-                    station_id, dataset.local_patterns_at(station_id)
-                )
-        else:
-            # Departures first, so a simultaneous rotation never re-matches
-            # stations that are leaving this round anyway.
-            for station_id in left:
-                session.remove_station(station_id)
-                delivered_reports.pop(station_id, None)
-            if refreshed:
-                session.replace_queries(queries)
-                artifact_bytes = _artifact_size_bytes(session.artifact)
-            for station_id in joined:
-                session.update_station(
-                    station_id, dataset.local_patterns_at(station_id)
-                )
-        if refreshed:
-            downlink_bytes = artifact_bytes * len(churn.active)
-        else:
-            downlink_bytes = artifact_bytes * len(joined)
-        network = SimulatedNetwork(
-            network_config or NetworkConfig(),
-            fault_plan=resolve_fault_plan(spec.fault_profile),
-            seed=_round_net_seed(spec, round_index),
-            decode_backend=config.bit_backend,
-            allow_partial=spec.allow_partial,
+            session.subscribe(queries)
+        report = session.step(
+            RoundOptions(
+                station_ids=churn.active,
+                net_seed=_round_net_seed(spec, round_index),
+                k=len(truth),
+            )
         )
-        center.clear_inbox()
-        session.ship_deltas(network, center)
-        for sender, reports in center.reports_by_sender().items():
-            delivered_reports[sender] = list(reports)
-        results = protocol.aggregate(
-            [report for reports in delivered_reports.values() for report in reports],
-            len(truth),
-        )
-        metrics = evaluate_retrieval(tuple(results.user_ids()), truth)
-        stats = network.frame_stats()
+        metrics = evaluate_retrieval(tuple(report.retrieved_user_ids), truth)
         aggregator.add_round(
             RoundMetrics(
                 round_index=round_index,
@@ -379,15 +243,83 @@ def _drive_session(
                 active_station_count=len(churn.active),
                 joined=joined,
                 left=left,
-                downlink_bytes=downlink_bytes,
-                uplink_bytes=network.uplink_bytes,
+                downlink_bytes=report.downlink_bytes,
+                uplink_bytes=report.uplink_bytes,
                 precision=metrics.precision,
                 recall=metrics.recall,
-                latency_s=network.transmission_time_s(),
-                goodput_fraction=stats.goodput_fraction,
-                retransmit_count=stats.retransmit_count,
-                lost_station_count=len(session.dirty_station_ids),
+                latency_s=report.latency_s,
+                goodput_fraction=report.goodput_fraction,
+                retransmit_count=report.retransmit_count,
+                lost_station_count=report.lost_station_count,
+                batch_refreshed=refreshed,
+                compute_time_s=report.costs.computation_time_s,
+            ),
+            report.transcript,
+        )
+
+
+def _drive_deltas(
+    spec: WorkloadSpec,
+    dataset: DistributedDataset,
+    cluster: Cluster,
+    session: ClusterSession,
+    sampler: _QuerySampler,
+    aggregator: WorkloadAggregator,
+) -> None:
+    """One continuous delta session across all rounds.
+
+    Downlink is charged when the artifact changes (batch rotation — the
+    re-encoded artifact's wire size once per active station) and for every
+    station that joins mid-campaign; uplink is the real wire bytes of the
+    round's delta shipment.  The facade session owns that accounting and the
+    center-side "last delivered state" view — an undelivered delta leaves the
+    center serving the previous state, visible in the round's
+    precision/recall.
+    """
+    churn = _ChurnState(spec, cluster.station_ids)
+    queries: list[QueryPattern] = []
+    truth: frozenset[str] = frozenset()
+    started = False
+    for round_index in range(spec.rounds):
+        joined, left = churn.step(round_index)
+        refreshed = spec.arrival.refreshes_at(round_index)
+        if refreshed:
+            queries = sampler.sample(round_index, spec.arrival.count_at(round_index))
+            truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+        if not started:
+            session.subscribe(queries)
+            for station_id in churn.active:
+                session.publish(station_id, dataset.local_patterns_at(station_id))
+            started = True
+        else:
+            # Departures first, so a simultaneous rotation never re-matches
+            # stations that are leaving this round anyway.
+            for station_id in left:
+                session.retire(station_id)
+            if refreshed:
+                session.subscribe(queries)
+            for station_id in joined:
+                session.publish(station_id, dataset.local_patterns_at(station_id))
+        report = session.step(
+            RoundOptions(net_seed=_round_net_seed(spec, round_index), k=len(truth))
+        )
+        metrics = evaluate_retrieval(tuple(report.retrieved_user_ids), truth)
+        aggregator.add_round(
+            RoundMetrics(
+                round_index=round_index,
+                query_count=len(queries),
+                active_station_count=len(churn.active),
+                joined=joined,
+                left=left,
+                downlink_bytes=report.downlink_bytes,
+                uplink_bytes=report.uplink_bytes,
+                precision=metrics.precision,
+                recall=metrics.recall,
+                latency_s=report.latency_s,
+                goodput_fraction=report.goodput_fraction,
+                retransmit_count=report.retransmit_count,
+                lost_station_count=report.lost_station_count,
                 batch_refreshed=refreshed,
             ),
-            network.transcript,
+            report.transcript,
         )

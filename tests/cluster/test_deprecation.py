@@ -1,0 +1,146 @@
+"""Each legacy entry point warns exactly once and delegates to the facade."""
+
+import warnings
+
+import pytest
+
+from repro.cluster import Cluster, RoundOptions
+from repro.core import ContinuousMatchingSession, DIMatchingProtocol
+from repro.distributed.simulator import DistributedSimulation
+
+
+def _single_deprecation(record) -> warnings.WarningMessage:
+    deprecations = [w for w in record if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got {len(deprecations)}"
+    )
+    return deprecations[0]
+
+
+class TestDistributedSimulationShim:
+    def test_constructor_warns_exactly_once(self, small_dataset):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            DistributedSimulation(small_dataset)
+        message = str(_single_deprecation(record).message)
+        assert "repro.cluster.Cluster" in message
+
+    def test_shim_delegates_to_a_facade_cluster(self, small_dataset):
+        with pytest.warns(DeprecationWarning):
+            shim = DistributedSimulation(small_dataset)
+        assert isinstance(shim.cluster, Cluster)
+        assert shim.dataset is shim.cluster.dataset
+        assert [s.node_id for s in shim.stations] == list(shim.cluster.station_ids)
+        assert shim.center is shim.cluster.center
+
+    def test_run_matches_the_facade_byte_for_byte(
+        self, small_dataset, small_workload, exact_config
+    ):
+        queries = list(small_workload.queries)
+        protocol = DIMatchingProtocol(exact_config)
+        with pytest.warns(DeprecationWarning):
+            shim = DistributedSimulation(small_dataset)
+        legacy = shim.run(protocol, queries, k=None, net_seed=4)
+        direct = Cluster.adopt(small_dataset).drive(
+            protocol, queries, options=RoundOptions(net_seed=4)
+        )
+        assert legacy.results == direct.results
+        # Wall-clock cost fields are measured; compare the deterministic ones.
+        for field in (
+            "downlink_bytes",
+            "uplink_bytes",
+            "message_count",
+            "transmission_time_s",
+            "retransmit_count",
+            "goodput_fraction",
+            "net_seed",
+        ):
+            assert getattr(legacy.costs, field) == getattr(direct.costs, field)
+        assert legacy.transcript_bytes() == direct.transcript_bytes()
+
+    def test_run_rejects_mixed_override_spellings(
+        self, small_dataset, small_workload, exact_config
+    ):
+        with pytest.warns(DeprecationWarning):
+            shim = DistributedSimulation(small_dataset)
+        with pytest.raises(ValueError, match="not both"):
+            shim.run(
+                DIMatchingProtocol(exact_config),
+                list(small_workload.queries),
+                options=RoundOptions(net_seed=1),
+                net_seed=2,
+            )
+        # The cutoff is an override like any other: k alongside options is
+        # rejected too, never silently dropped.
+        with pytest.raises(ValueError, match="not both"):
+            shim.run(
+                DIMatchingProtocol(exact_config),
+                list(small_workload.queries),
+                3,
+                options=RoundOptions(k=10),
+            )
+
+    def test_internal_facade_paths_do_not_warn(self, small_dataset, small_workload):
+        from repro.evaluation.experiments import run_comparison
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_comparison(small_dataset, small_workload, methods=("wbf",))
+
+
+class TestContinuousSessionShim:
+    def test_constructor_warns_exactly_once(self, exact_config, small_workload):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            ContinuousMatchingSession(
+                DIMatchingProtocol(exact_config), list(small_workload.queries)
+            )
+        message = str(_single_deprecation(record).message)
+        assert "open_session" in message
+
+    def test_facade_delta_session_does_not_warn(
+        self, small_dataset, small_workload, exact_config
+    ):
+        from repro.cluster import ClusterSpec, ProtocolSpec
+
+        spec = ClusterSpec(
+            name="no-warn",
+            protocol=ProtocolSpec(method="wbf", epsilon=0, config=exact_config),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Cluster(spec, dataset=small_dataset) as cluster:
+                session = cluster.open_session(mode="deltas")
+                session.subscribe(list(small_workload.queries))
+                for station_id in cluster.station_ids:
+                    session.publish(
+                        station_id, cluster.dataset.local_patterns_at(station_id)
+                    )
+                session.step(RoundOptions(net_seed=1))
+
+    def test_shim_behaves_like_the_facade_session(
+        self, small_dataset, small_workload, exact_config
+    ):
+        queries = list(small_workload.queries)
+        with pytest.warns(DeprecationWarning):
+            legacy = ContinuousMatchingSession(DIMatchingProtocol(exact_config), queries)
+        for station_id in small_dataset.station_ids:
+            patterns = small_dataset.local_patterns_at(station_id)
+            if len(patterns) > 0:
+                legacy.update_station(station_id, patterns)
+
+        from repro.cluster import ClusterSpec, ProtocolSpec
+
+        spec = ClusterSpec(
+            name="parity",
+            protocol=ProtocolSpec(method="wbf", epsilon=0, config=exact_config),
+        )
+        with Cluster(spec, dataset=small_dataset) as cluster:
+            session = cluster.open_session(mode="deltas")
+            session.subscribe(queries)
+            for station_id in cluster.station_ids:
+                session.publish(
+                    station_id, cluster.dataset.local_patterns_at(station_id)
+                )
+            report = session.step(RoundOptions(net_seed=0))
+        assert legacy.current_results(None) == report.results

@@ -1,0 +1,253 @@
+"""Behavior of the ``Cluster`` facade verbs and the unified session handle."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    ClusterStateError,
+    ProtocolSpec,
+    RoundOptions,
+    RoundReport,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.timeseries.pattern import PatternSet
+
+
+class TestRoundOptions:
+    def test_merge_rejects_both_spellings(self):
+        with pytest.raises(ValueError, match="not both"):
+            RoundOptions.merge(RoundOptions(net_seed=1), net_seed=2)
+
+    def test_merge_folds_loose_keywords(self):
+        merged = RoundOptions.merge(None, station_ids=["bs-a"], net_seed=7, k=3)
+        assert merged == RoundOptions(station_ids=("bs-a",), net_seed=7, k=3)
+
+    def test_station_ids_coerced_to_strings(self):
+        assert RoundOptions(station_ids=[1, 2]).station_ids == ("1", "2")
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            RoundOptions(k=-1)
+
+    def test_invalid_net_seed_rejected(self):
+        with pytest.raises(ValueError, match="net_seed"):
+            RoundOptions(net_seed="tuesday")
+
+
+class TestClusterConstruction:
+    def test_spec_without_dataset_requires_adoption(self):
+        with pytest.raises(ConfigurationError, match="dataset"):
+            Cluster(ClusterSpec(name="no-data"))
+
+    def test_non_spec_rejected(self, cluster):
+        with pytest.raises(ConfigurationError, match="ClusterSpec"):
+            Cluster({"method": "wbf"})
+
+    def test_adopting_a_prebuilt_dataset(self, wbf_spec, cluster):
+        adopted = Cluster(wbf_spec.with_updates(dataset=None), dataset=cluster.dataset)
+        assert adopted.dataset is cluster.dataset
+        assert adopted.station_ids == cluster.station_ids
+
+    def test_stations_are_the_pattern_bearing_ones(self, cluster):
+        assert 0 < len(cluster.stations) <= cluster.dataset.station_count
+        for station in cluster.stations:
+            assert station.stored_pattern_count > 0
+
+
+class TestRounds:
+    def test_round_requires_a_subscription(self, cluster):
+        with pytest.raises(ClusterStateError, match="subscribe"):
+            cluster.round()
+
+    def test_round_returns_a_typed_report(self, cluster, queries):
+        cluster.subscribe(queries)
+        report = cluster.round(RoundOptions(k=5))
+        assert isinstance(report, RoundReport)
+        assert report.mode == "round"
+        assert report.round_index == 0
+        assert report.query_count == len(queries)
+        assert report.active_station_count == len(cluster.stations)
+        assert report.downlink_bytes > 0 and report.uplink_bytes > 0
+        assert len(report.results) <= 5
+        assert report.costs is not None
+        assert report.costs.method == "wbf"
+
+    def test_rounds_accumulate_the_replay_token(self, cluster, queries):
+        cluster.subscribe(queries)
+        cluster.round()
+        cluster.round()
+        replay = cluster.transcript_bytes()
+        assert cluster.round_index == 2
+        assert b"== round 0 ==" in replay and b"== round 1 ==" in replay
+
+    def test_round_accepts_loose_keywords(self, cluster, queries):
+        cluster.subscribe(queries)
+        subset = list(cluster.station_ids)[:2]
+        report = cluster.round(station_ids=subset, net_seed=9, k=4)
+        assert report.active_station_count == len(subset)
+
+    def test_unknown_station_id_rejected(self, cluster, queries):
+        cluster.subscribe(queries)
+        with pytest.raises(ValueError, match="unknown station ids"):
+            cluster.round(RoundOptions(station_ids=("bs-on-the-moon",)))
+
+    def test_same_seed_replays_byte_identically(self, wbf_spec, queries):
+        transcripts = []
+        for _ in range(2):
+            with Cluster(wbf_spec) as deployed:
+                deployed.subscribe(queries)
+                deployed.round(RoundOptions(net_seed=3))
+                transcripts.append(deployed.transcript_bytes())
+        assert transcripts[0] == transcripts[1]
+
+
+class TestPublishSubscribe:
+    def test_publish_replaces_a_station(self, cluster):
+        station = cluster.stations[0]
+        patterns = cluster.dataset.local_patterns_at(station.node_id)
+        count = cluster.publish(station.node_id, patterns)
+        assert count == len(patterns)
+        assert cluster.station_ids == tuple(s.node_id for s in cluster.stations)
+
+    def test_publish_unknown_station_rejected(self, cluster):
+        with pytest.raises(ValueError, match="unknown station id"):
+            cluster.publish("bs-nowhere", PatternSet([]))
+
+    def test_publish_requires_a_pattern_set(self, cluster):
+        with pytest.raises(TypeError, match="PatternSet"):
+            cluster.publish(cluster.station_ids[0], ["not-patterns"])
+
+    def test_retire_removes_the_station_from_rounds(self, cluster, queries):
+        cluster.subscribe(queries)
+        victim = cluster.station_ids[0]
+        cluster.retire(victim)
+        assert victim not in cluster.station_ids
+        report = cluster.round()
+        assert report.active_station_count == len(cluster.station_ids)
+
+    def test_subscribe_requires_queries(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.subscribe([])
+
+
+class TestSessionHandle:
+    def test_mode_is_validated(self, cluster):
+        with pytest.raises(ConfigurationError, match="session mode"):
+            cluster.open_session(mode="turbo")
+
+    def test_only_one_session_at_a_time(self, cluster):
+        cluster.open_session(mode="rounds")
+        with pytest.raises(ClusterStateError, match="already open"):
+            cluster.open_session(mode="rounds")
+
+    def test_closing_frees_the_slot(self, cluster):
+        with cluster.open_session(mode="rounds"):
+            pass
+        cluster.open_session(mode="deltas")
+
+    def test_rounds_mode_steps_are_full_rounds(self, cluster, queries):
+        session = cluster.open_session(mode="rounds")
+        session.subscribe(queries)
+        report = session.step(RoundOptions(k=5))
+        assert report.mode == "round"
+        assert report.costs is not None
+
+    def test_delta_session_requires_subscription_before_publish(self, cluster):
+        session = cluster.open_session(mode="deltas")
+        station = cluster.stations[0]
+        with pytest.raises(ClusterStateError, match="subscribe"):
+            session.publish(
+                station.node_id, cluster.dataset.local_patterns_at(station.node_id)
+            )
+
+    def test_failed_publish_leaves_cluster_state_untouched(self, cluster):
+        # A publish the delta session refuses must not leak into the cluster:
+        # otherwise the cluster and the session would silently diverge.
+        session = cluster.open_session(mode="deltas")
+        first, second = cluster.station_ids[0], cluster.station_ids[1]
+        before = cluster.stations[0].patterns
+        with pytest.raises(ClusterStateError, match="subscribe"):
+            session.publish(first, cluster.dataset.local_patterns_at(second))
+        assert cluster.stations[0].patterns is before
+
+    def test_delta_steps_ship_only_dirty_stations(self, cluster, queries):
+        session = cluster.open_session(mode="deltas")
+        session.subscribe(queries)
+        for station_id in cluster.station_ids:
+            session.publish(station_id, cluster.dataset.local_patterns_at(station_id))
+        first = session.step(RoundOptions(net_seed=1))
+        assert first.mode == "delta"
+        assert set(first.delivered_station_ids) == set(cluster.station_ids)
+        assert first.downlink_bytes > 0  # initial dissemination to every station
+        # Nothing changed: the next step ships nothing.
+        second = session.step(RoundOptions(net_seed=2))
+        assert second.delivered_station_ids == ()
+        assert second.uplink_bytes == 0 and second.downlink_bytes == 0
+        # The ranking keeps serving the last delivered state.
+        assert second.results == first.results
+        # One dirty station re-ships alone.
+        victim = cluster.station_ids[0]
+        session.publish(victim, cluster.dataset.local_patterns_at(victim))
+        third = session.step(RoundOptions(net_seed=3))
+        assert third.delivered_station_ids == (victim,)
+        assert third.downlink_bytes == 0  # no rotation, no joiners
+
+    def test_delta_rotation_recharges_the_downlink(self, cluster, queries):
+        session = cluster.open_session(mode="deltas")
+        session.subscribe(queries)
+        for station_id in cluster.station_ids:
+            session.publish(station_id, cluster.dataset.local_patterns_at(station_id))
+        session.step(RoundOptions(net_seed=1))
+        session.subscribe(queries[:2])  # rotate the campaign
+        rotated = session.step(RoundOptions(net_seed=2))
+        assert rotated.downlink_bytes > 0
+        assert set(rotated.delivered_station_ids) == set(cluster.station_ids)
+
+    def test_delta_step_rejects_station_subsets(self, cluster, queries):
+        session = cluster.open_session(mode="deltas")
+        session.subscribe(queries)
+        session.publish(
+            cluster.station_ids[0],
+            cluster.dataset.local_patterns_at(cluster.station_ids[0]),
+        )
+        with pytest.raises(ValueError, match="publish\\(\\)/retire\\(\\)"):
+            session.step(RoundOptions(station_ids=cluster.station_ids[:1]))
+
+    def test_restore_invalidates_the_handle(self, cluster, queries):
+        cluster.subscribe(queries)
+        snapshot = cluster.snapshot()
+        session = cluster.open_session(mode="rounds")
+        cluster.restore(snapshot)
+        with pytest.raises(ClusterStateError, match="invalidated"):
+            session.step()
+
+    def test_both_modes_share_the_replay_framing(self, wbf_spec, queries):
+        with Cluster(wbf_spec) as deployed:
+            session = deployed.open_session(mode="deltas")
+            session.subscribe(queries)
+            for station_id in deployed.station_ids:
+                session.publish(
+                    station_id, deployed.dataset.local_patterns_at(station_id)
+                )
+            session.step(RoundOptions(net_seed=1))
+            replay = deployed.transcript_bytes()
+        assert replay.startswith(b"== round 0 ==")
+
+
+class TestDriveParityWithLegacyShim:
+    def test_drive_matches_the_deprecated_simulation(self, cluster, queries, wbf_spec):
+        report = None
+        cluster.subscribe(queries)
+        report = cluster.round(RoundOptions(net_seed=5, k=6))
+        with pytest.warns(DeprecationWarning):
+            legacy = __import__(
+                "repro.distributed.simulator", fromlist=["DistributedSimulation"]
+            ).DistributedSimulation(cluster.dataset)
+        outcome = legacy.run(
+            wbf_spec.protocol.build(), queries, options=RoundOptions(net_seed=5, k=6)
+        )
+        assert outcome.results == report.results
+        assert outcome.costs.downlink_bytes == report.downlink_bytes
+        assert outcome.costs.uplink_bytes == report.uplink_bytes
+        assert outcome.transcript_bytes() == report.transcript_bytes()

@@ -1,0 +1,133 @@
+"""Validation of the typed cluster specification."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    ExecutorSpec,
+    FaultSpec,
+    ProtocolSpec,
+    TransportSpec,
+)
+from repro.core.config import DIMatchingConfig
+from repro.core.exceptions import ConfigurationError
+from repro.datagen.workload import DatasetSpec
+from repro.distributed.network import NetworkConfig
+from repro.workloads import get_scenario
+
+
+class TestProtocolSpec:
+    def test_defaults_build_the_wbf_protocol(self):
+        protocol = ProtocolSpec().build()
+        assert protocol.name == "wbf"
+
+    @pytest.mark.parametrize("method", ["naive", "local", "bf", "wbf"])
+    def test_every_method_builds(self, method):
+        protocol = ProtocolSpec(method=method, epsilon=2).build()
+        assert protocol.name == method
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="method"):
+            ProtocolSpec(method="quantum")
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            ProtocolSpec(epsilon=-1)
+
+    def test_config_passed_through(self):
+        config = DIMatchingConfig(epsilon=2, sample_count=5)
+        assert ProtocolSpec(method="wbf", epsilon=2, config=config).resolved_config() is config
+
+    def test_wrong_config_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="config"):
+            ProtocolSpec(config={"sample_count": 5})
+
+
+class TestTransportSpec:
+    def test_round_trips_through_network_config(self):
+        original = NetworkConfig(
+            bandwidth_bytes_per_s=5_000.0, latency_s=0.5, max_attempts=3
+        )
+        assert TransportSpec.from_network_config(original).network_config() == original
+
+    def test_none_means_defaults(self):
+        assert TransportSpec.from_network_config(None).network_config() == NetworkConfig()
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError, match="bandwidth"):
+            TransportSpec(bandwidth_bytes_per_s=0)
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            TransportSpec(max_attempts=0)
+
+
+class TestExecutorSpec:
+    def test_none_defers_to_protocol_config(self):
+        spec = ExecutorSpec()
+        assert spec.kind is None and spec.shard_count is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="executor kind"):
+            ExecutorSpec(kind="gpu")
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard_count"):
+            ExecutorSpec(shard_count=-1)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            ExecutorSpec(max_workers=0)
+
+
+class TestFaultSpec:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault profile"):
+            FaultSpec(profile="meteor-strike")
+
+    def test_bool_net_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="net_seed"):
+            FaultSpec(net_seed=True)
+
+    def test_non_bool_allow_partial_rejected(self):
+        with pytest.raises(ConfigurationError, match="allow_partial"):
+            FaultSpec(allow_partial=1)
+
+
+class TestClusterSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ClusterSpec(name="")
+
+    def test_wrong_subspec_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="protocol"):
+            ClusterSpec(protocol="wbf")
+        with pytest.raises(ConfigurationError, match="transport"):
+            ClusterSpec(transport=NetworkConfig())
+        with pytest.raises(ConfigurationError, match="dataset"):
+            ClusterSpec(dataset={"stations": 3})
+
+    def test_with_updates_revalidates(self):
+        spec = ClusterSpec(name="ok")
+        with pytest.raises(ConfigurationError, match="name"):
+            spec.with_updates(name="")
+
+    def test_from_workload_compiles_every_scenario(self):
+        for scenario in ("steady-state", "degraded-network", "long-session"):
+            workload = get_scenario(scenario)
+            spec = ClusterSpec.from_workload(workload)
+            assert spec.name == workload.name
+            assert isinstance(spec.dataset, DatasetSpec)
+            assert spec.dataset.station_count == workload.station_count
+            assert spec.protocol.method == workload.method
+            assert spec.faults.profile == workload.fault_profile
+            assert spec.faults.allow_partial == workload.allow_partial
+
+    def test_from_workload_derives_the_dataset_seed(self):
+        from repro.utils.rng import derive_seed
+
+        workload = get_scenario("steady-state")
+        spec = ClusterSpec.from_workload(workload)
+        assert spec.dataset.seed == derive_seed(
+            workload.seed, "workload-dataset", workload.name
+        )

@@ -54,7 +54,8 @@ class TestExamples:
     def test_online_monitoring(self):
         output = _run_example("online_monitoring.py")
         assert "final top-5" in output
-        assert "1 station re-matched" in output
+        # The correction re-ships exactly one station's delta.
+        assert "re-shipped 1 station" in output
 
     @pytest.mark.slow
     def test_city_scale_simulation(self):

@@ -52,9 +52,11 @@ class TestSimulationDrive:
     def test_skewed_hotset_concentrates_the_query_mix(self):
         skewed = tiny_spec("skewed-hotset").with_updates(rounds=6)
         uniform = skewed.with_updates(mix=skewed.mix.__class__(zipf_s=0.0))
-        from repro.workloads.engine import _QuerySampler, _build_environment
+        from repro.cluster.spec import ClusterSpec
+        from repro.datagen.workload import build_dataset
+        from repro.workloads.engine import _QuerySampler
 
-        dataset, _config, _protocol = _build_environment(skewed, "auto")
+        dataset = build_dataset(ClusterSpec.from_workload(skewed).dataset)
         skewed_users = [
             q.query_id.rsplit("-", 1)[-1]
             for r in range(20)

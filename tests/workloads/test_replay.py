@@ -5,7 +5,16 @@ transcript — across repeated runs, across station executors and across bit
 backends — and changing the seed must actually change the schedule.  This
 extends the single-round seed-replay contract of ``tests/simulation/`` to
 whole multi-round workloads.
+
+``golden_transcripts.json`` pins the transcripts *across the facade
+refactor*: its digests were captured from the pre-``repro.cluster`` engine,
+so every scenario driven through ``Cluster``/``open_session()`` must still
+produce the exact bytes the four-entry-point era produced.
 """
+
+import hashlib
+import json
+from pathlib import Path
 
 import pytest
 
@@ -14,6 +23,24 @@ from repro.workloads import scenario_names
 from .conftest import run_tiny, tiny_spec
 
 ALL_SCENARIOS = scenario_names()
+
+#: sha256 of each (scenario, drive) tiny-scale transcript, captured from the
+#: pre-facade engine.  Update deliberately (never to paper over drift): rerun
+#: the suite, inspect the diff, and re-dump the digests.
+GOLDEN_DIGESTS = json.loads(
+    (Path(__file__).parent / "golden_transcripts.json").read_text(encoding="utf-8")
+)
+
+
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+@pytest.mark.parametrize("drive", ["simulation", "session"])
+def test_facade_drive_matches_the_pre_refactor_engine(scenario, drive):
+    """Byte-identity with the engine as it existed before ``repro.cluster``."""
+    digest = hashlib.sha256(run_tiny(scenario, drive=drive).transcript_bytes()).hexdigest()
+    assert digest == GOLDEN_DIGESTS[scenario][drive], (
+        f"{scenario}/{drive}: the facade-driven transcript no longer matches "
+        "the pre-refactor engine's golden digest"
+    )
 
 
 @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
