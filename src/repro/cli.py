@@ -26,6 +26,7 @@ from repro.core.config import (
     DIMatchingConfig,
     EXECUTOR_CHOICES,
     FAULT_PROFILE_CHOICES,
+    TRANSPORT_CHOICES,
     WORKLOAD_DRIVE_CHOICES,
 )
 from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
@@ -182,6 +183,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--bit-backend", default="auto", choices=["auto", "python", "numpy"],
         help="Bit-storage backend for the filters (results are backend-invariant).",
+    )
+    run.add_argument(
+        "--transport", default="sim", choices=list(TRANSPORT_CHOICES),
+        help="Backhaul backend: sim = deterministic simulator, tcp = real "
+        "localhost sockets with station worker processes (results and "
+        "fault-free byte counts are transport-invariant).",
     )
     run.add_argument(
         "--fault-profile", default=None, choices=list(FAULT_PROFILE_CHOICES),
@@ -380,6 +387,7 @@ def _run_workload_run(args: argparse.Namespace) -> str:
         executor=args.executor,
         shard_count=args.shards,
         bit_backend=args.bit_backend,
+        transport=args.transport,
     )
 
     faulty = spec.fault_profile != "none"

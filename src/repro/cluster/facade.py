@@ -40,7 +40,7 @@ import time
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.report import ClusterSnapshot, RoundReport
-from repro.cluster.spec import ClusterSpec
+from repro.cluster.spec import ClusterSpec, TransportSpec
 from repro.core.exceptions import ConfigurationError
 from repro.core.protocol import MatchingProtocol
 from repro.core.streaming import ContinuousMatchingSession
@@ -52,6 +52,7 @@ from repro.distributed.faults import FaultPlan, resolve_fault_plan
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig, SimulatedNetwork
+from repro.distributed.transport.base import Transport
 from repro.distributed.simulator import (
     RoundOptions,
     SimulationOutcome,
@@ -104,7 +105,7 @@ class Cluster:
         self._protocol: MatchingProtocol | None = spec.protocol.build()
         self._setup(
             dataset,
-            network_config=spec.transport.network_config(),
+            transport_spec=spec.transport,
             executor=spec.executor.kind,
             shard_count=spec.executor.shard_count,
             max_workers=spec.executor.max_workers,
@@ -138,7 +139,7 @@ class Cluster:
         cluster._protocol = None
         cluster._setup(
             dataset,
-            network_config=network_config or NetworkConfig(),
+            transport_spec=TransportSpec.from_network_config(network_config),
             executor=executor,
             shard_count=shard_count,
             max_workers=max_workers,
@@ -152,7 +153,7 @@ class Cluster:
         self,
         dataset: "DistributedDataset",
         *,
-        network_config: NetworkConfig,
+        transport_spec: TransportSpec,
         executor: str | None,
         shard_count: int | None,
         max_workers: int | None,
@@ -161,7 +162,9 @@ class Cluster:
         allow_partial: bool,
     ) -> None:
         self._dataset = dataset
-        self._network_config = network_config
+        self._transport_spec = transport_spec
+        self._network_config = transport_spec.network_config()
+        self._tcp_manager: "TcpTransportManager | None" = None
         self._executor = executor
         self._shard_count = shard_count
         self._max_workers = max_workers
@@ -324,8 +327,14 @@ class Cluster:
 
     def _network_for(
         self, protocol: MatchingProtocol, net_seed: int | None = None
-    ) -> SimulatedNetwork:
-        """Fresh per-round transport, faults resolved like the executor knobs."""
+    ) -> Transport:
+        """Fresh per-round transport, faults resolved like the executor knobs.
+
+        The backend is whatever the deployment's :class:`TransportSpec`
+        selected: the deterministic simulator, or real localhost sockets with
+        station worker processes (whose long-lived manager is created lazily
+        on the first round and torn down by :meth:`close`).
+        """
         config = getattr(protocol, "config", None)
         plan = resolve_fault_plan(
             self._fault_plan
@@ -337,6 +346,24 @@ class Cluster:
                 self._net_seed
                 if self._net_seed is not None
                 else getattr(config, "net_seed", 0)
+            )
+        if self._transport_spec.transport == "tcp":
+            if self._tcp_manager is None:
+                # Imported lazily: the TCP stack (loop thread, servers, worker
+                # subprocess machinery) only loads for deployments that use it.
+                from repro.distributed.transport.tcp import TcpTransportManager
+
+                self._tcp_manager = TcpTransportManager(
+                    self._network_config,
+                    connect_timeout_s=self._transport_spec.tcp_connect_timeout_s,
+                )
+            return self._tcp_manager.create_transport(
+                fault_plan=plan,
+                seed=net_seed,
+                decode_backend=getattr(config, "bit_backend", "auto"),
+                allow_partial=self._allow_partial,
+                ack_timeout_s=self._transport_spec.tcp_ack_timeout_s,
+                delay_scale=self._transport_spec.tcp_delay_scale,
             )
         return SimulatedNetwork(
             self._network_config,
@@ -627,10 +654,13 @@ class Cluster:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down worker pools and detach any open session handle."""
+        """Shut down worker pools and sockets, detach any open session handle."""
         for runner in self._runners.values():
             runner.close()
         self._runners.clear()
+        if self._tcp_manager is not None:
+            self._tcp_manager.shutdown()
+            self._tcp_manager = None
         self._epoch += 1
         self._session = None
 

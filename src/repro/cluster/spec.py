@@ -25,6 +25,7 @@ from repro.core.config import (
     DIMatchingConfig,
     EXECUTOR_CHOICES,
     FAULT_PROFILE_CHOICES,
+    TRANSPORT_CHOICES,
 )
 from repro.core.exceptions import ConfigurationError
 from repro.datagen.workload import DatasetSpec
@@ -98,17 +99,60 @@ class ProtocolSpec:
 
 @dataclass(frozen=True)
 class TransportSpec:
-    """Link and reliability parameters of the simulated backhaul."""
+    """Backhaul backend selection plus its link/reliability parameters.
+
+    ``transport="sim"`` runs every round through the deterministic
+    event-driven :class:`~repro.distributed.network.SimulatedNetwork`;
+    ``transport="tcp"`` runs the stations as real localhost worker processes
+    speaking the same ``DIMW`` wire frames over asyncio sockets, with a
+    byte-level fault proxy driven by the same seeded fault plan
+    (:mod:`repro.distributed.transport.tcp`).  The link parameters feed both
+    backends; the ``tcp_*`` knobs only apply to the real-socket backend.
+    """
 
     bandwidth_bytes_per_s: float = 2_000_000.0
     latency_s: float = 0.02
     max_attempts: int = 8
     retransmit_timeout_s: float | None = None
+    #: Which backend carries the deployment's traffic.
+    transport: str = "sim"
+    #: TCP only: how long to wait for a spawned station worker to register.
+    tcp_connect_timeout_s: float = 20.0
+    #: TCP only: stop-and-wait ack timeout; ``None`` uses the backend default
+    #: (``retransmit_timeout_s`` takes precedence when set).
+    tcp_ack_timeout_s: float | None = None
+    #: TCP only: scale factor for real fault delays (jitter, reorder, blackout).
+    tcp_delay_scale: float = 1.0
 
     def __post_init__(self) -> None:
+        _require(
+            self.transport in TRANSPORT_CHOICES,
+            f"transport must be one of {TRANSPORT_CHOICES}, got {self.transport!r}",
+        )
+        _require(
+            isinstance(self.tcp_connect_timeout_s, (int, float))
+            and not isinstance(self.tcp_connect_timeout_s, bool)
+            and float(self.tcp_connect_timeout_s) > 0.0,
+            f"tcp_connect_timeout_s must be > 0, got {self.tcp_connect_timeout_s!r}",
+        )
+        _require(
+            self.tcp_ack_timeout_s is None
+            or (
+                isinstance(self.tcp_ack_timeout_s, (int, float))
+                and not isinstance(self.tcp_ack_timeout_s, bool)
+                and float(self.tcp_ack_timeout_s) > 0.0
+            ),
+            f"tcp_ack_timeout_s must be > 0 or None, got {self.tcp_ack_timeout_s!r}",
+        )
+        _require(
+            isinstance(self.tcp_delay_scale, (int, float))
+            and not isinstance(self.tcp_delay_scale, bool)
+            and float(self.tcp_delay_scale) >= 0.0,
+            f"tcp_delay_scale must be >= 0, got {self.tcp_delay_scale!r}",
+        )
         try:
-            # NetworkConfig owns the invariants; building one surfaces any
-            # violation as the facade's ConfigurationError.
+            # NetworkConfig owns the link invariants; building one surfaces
+            # any violation as the facade's ConfigurationError.
             self.network_config()
         except (TypeError, ValueError) as error:
             raise ConfigurationError(str(error)) from error
@@ -123,15 +167,18 @@ class TransportSpec:
         )
 
     @classmethod
-    def from_network_config(cls, config: NetworkConfig | None) -> "TransportSpec":
+    def from_network_config(
+        cls, config: NetworkConfig | None, transport: str = "sim"
+    ) -> "TransportSpec":
         """Lift an existing :class:`NetworkConfig` into a spec (``None`` = defaults)."""
         if config is None:
-            return cls()
+            return cls(transport=transport)
         return cls(
             bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
             latency_s=config.latency_s,
             max_attempts=config.max_attempts,
             retransmit_timeout_s=config.retransmit_timeout_s,
+            transport=transport,
         )
 
 
@@ -243,6 +290,7 @@ class ClusterSpec:
         shard_count: int | None = None,
         bit_backend: str = "auto",
         network_config: NetworkConfig | None = None,
+        transport: str = "sim",
     ) -> "ClusterSpec":
         """Compile a :class:`~repro.workloads.spec.WorkloadSpec` into a deployment.
 
@@ -272,7 +320,7 @@ class ClusterSpec:
             protocol=ProtocolSpec(
                 method=workload.method, epsilon=float(workload.epsilon), config=config
             ),
-            transport=TransportSpec.from_network_config(network_config),
+            transport=TransportSpec.from_network_config(network_config, transport=transport),
             executor=ExecutorSpec(kind=executor, shard_count=shard_count),
             faults=FaultSpec(
                 profile=workload.fault_profile, allow_partial=workload.allow_partial

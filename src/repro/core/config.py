@@ -38,6 +38,15 @@ FAULT_PROFILE_CHOICES = (
     "chaos",
 )
 
+#: Transport backends accepted by ``TransportSpec.transport`` and the CLI:
+#: "sim" is the deterministic event-driven simulator on a virtual clock
+#: (:class:`~repro.distributed.network.SimulatedNetwork`), "tcp" runs the
+#: stations as real localhost worker processes over asyncio sockets
+#: (:mod:`repro.distributed.transport.tcp`).  Only the names live here so the
+#: dependency-light core can validate configurations without importing either
+#: backend.
+TRANSPORT_CHOICES = ("sim", "tcp")
+
 #: Drive modes of the declarative workload engine (:mod:`repro.workloads`):
 #: "simulation" replays every round through the full event-driven transport
 #: (:class:`~repro.distributed.simulator.DistributedSimulation`), "session"

@@ -48,8 +48,16 @@ from repro.distributed.events import EventLoop, RoundTimeoutError, TranscriptEnt
 from repro.distributed.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from repro.distributed.messages import Message
 from repro.distributed.node import Node
+from repro.distributed.transport.base import FrameStats, PhaseOutcome, Transport
 from repro.utils.validation import require_non_negative, require_positive
 from repro.wire.errors import UnsupportedWireTypeError, WireFormatError
+
+__all__ = [
+    "FrameStats",
+    "NetworkConfig",
+    "PhaseOutcome",
+    "SimulatedNetwork",
+]
 
 #: All uplink transfers serialize on this shared link (the center's ingress).
 _UPLINK_INGRESS = "uplink:center-ingress"
@@ -81,59 +89,6 @@ class NetworkConfig:
         """Simulated time to move ``size_bytes`` over one link."""
         require_non_negative(size_bytes, "size_bytes")
         return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
-
-
-@dataclass(frozen=True)
-class FrameStats:
-    """Frame-level ledger of one network's activity.
-
-    Conservation invariant (asserted by the property suite): every emitted
-    frame is eventually delivered, suppressed as a duplicate/late arrival,
-    dropped, or rejected as corrupt — ``frames_in_flight`` is zero once a
-    phase completes.
-    """
-
-    frames_sent: int = 0
-    frames_delivered: int = 0
-    frames_dropped: int = 0
-    frames_corrupt: int = 0
-    frames_duplicate: int = 0
-    retransmit_count: int = 0
-    timeout_count: int = 0
-    corrupt_caught_by_codec: int = 0
-    corrupt_caught_by_checksum: int = 0
-    payload_bytes_sent: int = 0
-    payload_bytes_delivered: int = 0
-
-    @property
-    def frames_in_flight(self) -> int:
-        """Emitted frames not yet accounted for (zero between phases)."""
-        return (
-            self.frames_sent
-            - self.frames_delivered
-            - self.frames_duplicate
-            - self.frames_dropped
-            - self.frames_corrupt
-        )
-
-    @property
-    def goodput_fraction(self) -> float:
-        """Unique delivered payload bytes over total bytes put on the wire."""
-        if self.payload_bytes_sent == 0:
-            return 1.0
-        return self.payload_bytes_delivered / self.payload_bytes_sent
-
-
-@dataclass(frozen=True)
-class PhaseOutcome:
-    """Result of one broadcast/gather phase."""
-
-    direction: str
-    duration_s: float
-    #: Station endpoints whose transfer completed, in send order.
-    delivered_ids: tuple[str, ...]
-    #: Station endpoints whose transfer timed out (``allow_partial`` only).
-    failed_ids: tuple[str, ...]
 
 
 class _SequenceView(Sequence):
@@ -212,7 +167,7 @@ class _Transfer:
         self.resolved_at = 0.0
 
 
-class SimulatedNetwork:
+class SimulatedNetwork(Transport):
     """Event-driven reliable transport with seeded fault injection.
 
     One instance models one round's network: phases run sequentially on a
@@ -243,6 +198,7 @@ class SimulatedNetwork:
         self._log: list[Message] = []
         self._log_view = _SequenceView(self._log)
         self._transcript: list[TranscriptEntry] = []
+        self._delivered: dict[tuple[str, str], list[bytes]] = {}
         self._next_frame_id = 0
         self._frames_sent = 0
         self._frames_delivered = 0
@@ -308,6 +264,18 @@ class SimulatedNetwork:
 
         return transcript_to_bytes(self._transcript)
 
+    def delivered_payloads(self, direction: str) -> dict[str, tuple[bytes, ...]]:
+        """Unique delivered frame bytes per station for ``direction``.
+
+        The cross-transport conformance battery compares these against the
+        TCP backend's: for fault-free plans the exact wire bytes must match.
+        """
+        return {
+            station: tuple(payloads)
+            for (recorded_direction, station), payloads in self._delivered.items()
+            if recorded_direction == direction
+        }
+
     def frame_stats(self) -> FrameStats:
         """Snapshot of the frame-level ledger."""
         return FrameStats(
@@ -344,6 +312,7 @@ class SimulatedNetwork:
         self._uplink_durations.clear()
         self._log.clear()
         self._transcript.clear()
+        self._delivered.clear()
         self._next_frame_id = 0
         self._frames_sent = 0
         self._frames_delivered = 0
@@ -581,5 +550,9 @@ class SimulatedNetwork:
         transfer.resolved_at = time_s
         self._frames_delivered += 1
         self._payload_bytes_delivered += transfer.size
+        if transfer.payload is not None:
+            self._delivered.setdefault(
+                (transfer.direction, transfer.station), []
+            ).append(transfer.payload)
         self._log.append(delivered)
         self._record(time_s, "deliver", transfer)

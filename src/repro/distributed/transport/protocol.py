@@ -1,0 +1,223 @@
+"""Control-frame vocabulary of the TCP transport.
+
+Everything that crosses a TCP connection between the data center, the fault
+proxy and a station worker is one :mod:`repro.wire.stream` frame whose payload
+is a *transport frame*: a one-byte kind tag followed by kind-specific fields
+encoded with the :mod:`repro.wire.primitives` writers.  Only ``DATA`` frames
+carry protocol traffic (a full ``DIMW``-encoded
+:class:`~repro.distributed.messages.Message`); the rest are link-layer
+control — exactly the frames the simulator models as zero-cost fictions, so
+the byte ledger charges ``DATA`` bodies only and the fault proxy perturbs
+``DATA`` frames only.
+
+The ``DATA`` checksum field is computed by the original sender over the body
+bytes; the proxy corrupts bodies *without* touching the checksum, so the
+receiver detects in-flight corruption the same way the simulator's link-layer
+checksum does — and still runs the real codec decode on the corrupt bytes to
+classify the catch (codec vs checksum), keeping the
+:class:`~repro.distributed.transport.base.FrameStats` corruption counters
+comparable across backends.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.wire.errors import WireFormatError
+from repro.wire.primitives import (
+    ByteReader,
+    write_bool,
+    write_bytes,
+    write_f64,
+    write_str,
+    write_u8,
+    write_uvarint,
+)
+
+#: Transport frame kinds (u8 tags).  Append only — these travel between
+#: processes that may momentarily run different checkouts during development.
+HELLO = 0x01
+DATA = 0x02
+ACK = 0x03
+LOAD = 0x04
+FAIL = 0x05
+CORRUPT = 0x06
+SHUTDOWN = 0x07
+RESET = 0x08
+
+FRAME_KINDS = (HELLO, DATA, ACK, LOAD, FAIL, CORRUPT, SHUTDOWN, RESET)
+
+#: ``DATA`` direction field.
+DOWNLINK = 0
+UPLINK = 1
+
+#: ``CORRUPT`` classification field: which integrity layer caught the frame.
+CAUGHT_BY_CODEC = 1
+CAUGHT_BY_CHECKSUM = 2
+
+
+@dataclass(frozen=True)
+class TransportFrame:
+    """One decoded transport frame (unused fields stay at their defaults)."""
+
+    kind: int
+    station_id: str = ""
+    frame_id: int = 0
+    attempt: int = 0
+    direction: int = DOWNLINK
+    crc: int = 0
+    body: bytes = b""
+    duplicate: bool = False
+    max_attempts: int = 0
+    ack_timeout_s: float = 0.0
+    caught_by: int = 0
+
+
+def encode_hello(station_id: str) -> bytes:
+    """Worker → center: identify this connection's station."""
+    out = bytearray()
+    write_u8(out, HELLO)
+    write_str(out, station_id)
+    return bytes(out)
+
+
+def encode_data(
+    frame_id: int,
+    attempt: int,
+    direction: int,
+    body: bytes,
+    crc: int | None = None,
+) -> bytes:
+    """One protocol frame: a ``DIMW`` message body under the transport header.
+
+    ``crc`` defaults to the body's checksum; the fault proxy passes the
+    *original* checksum through unchanged when it corrupts the body, so the
+    receiver can detect the corruption.
+    """
+    out = bytearray()
+    write_u8(out, DATA)
+    write_uvarint(out, frame_id)
+    write_uvarint(out, attempt)
+    write_u8(out, direction)
+    write_uvarint(out, zlib.crc32(body) if crc is None else crc)
+    write_bytes(out, body)
+    return bytes(out)
+
+
+def encode_ack(frame_id: int, attempt: int, duplicate: bool = False) -> bytes:
+    """Receiver → sender: the frame arrived intact (``duplicate`` = again)."""
+    out = bytearray()
+    write_u8(out, ACK)
+    write_uvarint(out, frame_id)
+    write_uvarint(out, attempt)
+    write_bool(out, duplicate)
+    return bytes(out)
+
+
+def encode_load(
+    frame_id: int, max_attempts: int, ack_timeout_s: float, body: bytes
+) -> bytes:
+    """Center → worker: transmit ``body`` uplink under stop-and-wait."""
+    out = bytearray()
+    write_u8(out, LOAD)
+    write_uvarint(out, frame_id)
+    write_uvarint(out, max_attempts)
+    write_f64(out, ack_timeout_s)
+    write_bytes(out, body)
+    return bytes(out)
+
+
+def encode_fail(frame_id: int, attempt: int) -> bytes:
+    """Worker → center: an uplink transfer exhausted its retransmission budget."""
+    out = bytearray()
+    write_u8(out, FAIL)
+    write_uvarint(out, frame_id)
+    write_uvarint(out, attempt)
+    return bytes(out)
+
+
+def encode_corrupt(frame_id: int, attempt: int, caught_by: int) -> bytes:
+    """Receiver → sender ledger: a frame arrived corrupt (and was not acked)."""
+    out = bytearray()
+    write_u8(out, CORRUPT)
+    write_uvarint(out, frame_id)
+    write_uvarint(out, attempt)
+    write_u8(out, caught_by)
+    return bytes(out)
+
+
+def encode_shutdown() -> bytes:
+    """Center → worker: drain and exit cleanly."""
+    out = bytearray()
+    write_u8(out, SHUTDOWN)
+    return bytes(out)
+
+
+def encode_reset() -> bytes:
+    """Center → worker: a new round transport began; frame ids restart.
+
+    Frame ids are assigned per round transport (mirroring the simulator's
+    per-instance counter, which the fault injector's ``(seed, frame id,
+    attempt)`` keying depends on), so the worker's duplicate-suppression set
+    must be cleared between rounds.  TCP's per-connection ordering makes this
+    race-free: the reset is written before any of the new round's ``DATA``
+    frames, and the previous round's quiescence barrier guarantees no stale
+    frames are still in flight behind it.
+    """
+    out = bytearray()
+    write_u8(out, RESET)
+    return bytes(out)
+
+
+def parse_frame(payload: bytes) -> TransportFrame:
+    """Decode one transport frame; malformed input raises ``WireFormatError``."""
+    reader = ByteReader(payload)
+    kind = reader.u8()
+    if kind == HELLO:
+        frame = TransportFrame(kind=kind, station_id=reader.str_())
+    elif kind == DATA:
+        frame = TransportFrame(
+            kind=kind,
+            frame_id=reader.uvarint(),
+            attempt=reader.uvarint(),
+            direction=reader.u8(),
+            crc=reader.uvarint(),
+            body=reader.bytes_(),
+        )
+        if frame.direction not in (DOWNLINK, UPLINK):
+            raise WireFormatError(f"invalid DATA direction {frame.direction}")
+    elif kind == ACK:
+        frame = TransportFrame(
+            kind=kind,
+            frame_id=reader.uvarint(),
+            attempt=reader.uvarint(),
+            duplicate=reader.bool_(),
+        )
+    elif kind == LOAD:
+        frame = TransportFrame(
+            kind=kind,
+            frame_id=reader.uvarint(),
+            max_attempts=reader.uvarint(),
+            ack_timeout_s=reader.f64(),
+            body=reader.bytes_(),
+        )
+    elif kind == FAIL:
+        frame = TransportFrame(
+            kind=kind, frame_id=reader.uvarint(), attempt=reader.uvarint()
+        )
+    elif kind == CORRUPT:
+        frame = TransportFrame(
+            kind=kind,
+            frame_id=reader.uvarint(),
+            attempt=reader.uvarint(),
+            caught_by=reader.u8(),
+        )
+        if frame.caught_by not in (CAUGHT_BY_CODEC, CAUGHT_BY_CHECKSUM):
+            raise WireFormatError(f"invalid CORRUPT classification {frame.caught_by}")
+    elif kind in (SHUTDOWN, RESET):
+        frame = TransportFrame(kind=kind)
+    else:
+        raise WireFormatError(f"unknown transport frame kind 0x{kind:02x}")
+    reader.expect_eof()
+    return frame

@@ -21,6 +21,14 @@ from repro.wire.codec import (
 )
 from repro.wire.errors import UnsupportedWireTypeError, WireFormatError
 from repro.wire.primitives import ByteReader
+from repro.wire.stream import (
+    MAX_FRAME_BYTES,
+    STREAM_HEADER_SIZE,
+    STREAM_MAGIC,
+    FrameStreamDecoder,
+    StreamFrame,
+    encode_stream_frame,
+)
 
 __all__ = [
     "FLAG_ZLIB",
@@ -35,4 +43,10 @@ __all__ = [
     "UnsupportedWireTypeError",
     "WireFormatError",
     "ByteReader",
+    "MAX_FRAME_BYTES",
+    "STREAM_HEADER_SIZE",
+    "STREAM_MAGIC",
+    "FrameStreamDecoder",
+    "StreamFrame",
+    "encode_stream_frame",
 ]

@@ -1,0 +1,142 @@
+"""Length-prefixed stream framing for byte-stream transports.
+
+A TCP connection is a byte stream: a single ``write`` may be split across many
+reads (partial reads) and many writes may land in one read (coalescing), so a
+real-socket transport needs a reassembly layer that turns arbitrary byte
+chunks back into the discrete ``DIMW`` frames the protocol speaks.  This
+module is that layer, shared by the TCP transport's center, proxy and station
+workers.
+
+Every stream frame is::
+
+    offset 0  magic   b"DIMS"                  (4 bytes, "DI-Matching Stream")
+    offset 4  length  u32 big-endian           (payload byte count)
+    offset 8  crc32   u32 big-endian           (zlib.crc32 of the payload)
+    offset 12 payload length bytes
+
+The fixed 12-byte header makes resynchronization decidable: a buffer that is
+not positioned at a frame boundary fails the magic check (or, for adversarial
+byte patterns that happen to spell the magic, the CRC check) instead of being
+silently mis-framed.  :class:`FrameStreamDecoder` therefore has exactly three
+outcomes per buffered region — a complete frame, "need more bytes", or a
+typed :class:`~repro.wire.errors.WireFormatError` — which the property suite
+pins under hypothesis-generated chunkings.
+
+The payload CRC is *framing* integrity, not transport integrity: the TCP
+fault proxy deliberately corrupts transport payloads while keeping the stream
+frame well-formed, so in-flight corruption is detected by the transport's own
+per-frame checksum (mirroring the simulator's link-layer checksum), while a
+CRC failure at this layer means the stream itself lost sync.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.wire.errors import WireFormatError
+
+#: Magic bytes opening every stream frame.
+STREAM_MAGIC = b"DIMS"
+
+#: Fixed header size: magic (4) + length (4) + crc32 (4).
+STREAM_HEADER_SIZE = 12
+
+#: Upper bound on a single frame's payload.  Anything larger is rejected as a
+#: framing error rather than buffered indefinitely — a desynchronized stream
+#: read as a length field must not turn into an unbounded allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">4sII")
+
+
+def encode_stream_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in one length-prefixed, CRC-protected stream frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"stream frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _HEADER.pack(STREAM_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """One reassembled stream frame.
+
+    ``crc_ok`` is False when the payload arrived complete but failed the
+    framing CRC — the decoder stays in sync (the length field told it where
+    the frame ends) and keeps decoding, but the frame must not be trusted.
+    """
+
+    payload: bytes
+    crc_ok: bool = True
+
+
+class FrameStreamDecoder:
+    """Incremental reassembly of stream frames from arbitrary byte chunks.
+
+    Feed it whatever the socket produced — partial headers, split payloads,
+    many coalesced frames — and it returns every frame that completed.  Bytes
+    that cannot be the start of a frame (bad magic, absurd length) raise
+    :class:`WireFormatError` immediately; a frame whose payload fails the CRC
+    is returned with ``crc_ok=False``.  The decoder never yields a frame whose
+    payload differs from what the sender framed while claiming ``crc_ok``.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Number of bytes held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    @property
+    def at_boundary(self) -> bool:
+        """True when no partial frame is pending (a clean stream end point)."""
+        return not self._buffer
+
+    def feed(self, data: bytes) -> list[StreamFrame]:
+        """Absorb ``data`` and return every frame it completed, in order."""
+        self._buffer += data
+        frames: list[StreamFrame] = []
+        while True:
+            if len(self._buffer) < STREAM_HEADER_SIZE:
+                # Even a partial header can be known-bad: reject as soon as
+                # the bytes present cannot be a prefix of the magic.
+                if self._buffer and not STREAM_MAGIC.startswith(
+                    bytes(self._buffer[: len(STREAM_MAGIC)])
+                ):
+                    raise WireFormatError(
+                        f"stream desynchronized: buffer starts with "
+                        f"{bytes(self._buffer[:4])!r}, expected magic {STREAM_MAGIC!r}"
+                    )
+                return frames
+            magic, length, crc = _HEADER.unpack_from(self._buffer, 0)
+            if magic != STREAM_MAGIC:
+                raise WireFormatError(
+                    f"stream desynchronized: bad frame magic {magic!r} "
+                    f"(expected {STREAM_MAGIC!r})"
+                )
+            if length > MAX_FRAME_BYTES:
+                raise WireFormatError(
+                    f"stream frame claims {length} payload bytes, over the "
+                    f"{MAX_FRAME_BYTES}-byte limit — treating as desynchronization"
+                )
+            end = STREAM_HEADER_SIZE + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[STREAM_HEADER_SIZE:end])
+            del self._buffer[:end]
+            frames.append(StreamFrame(payload=payload, crc_ok=zlib.crc32(payload) == crc))
+
+    def expect_boundary(self) -> None:
+        """Raise unless the stream ended exactly on a frame boundary."""
+        if self._buffer:
+            raise WireFormatError(
+                f"stream ended mid-frame with {len(self._buffer)} undecoded bytes"
+            )

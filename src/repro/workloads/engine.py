@@ -166,12 +166,18 @@ def run_workload(
     shard_count: int | None = None,
     bit_backend: str = "auto",
     network_config: NetworkConfig | None = None,
+    transport: str = "sim",
 ) -> WorkloadResult:
     """Compile ``spec`` into a multi-round facade drive and run it to completion.
 
     ``executor`` / ``shard_count`` / ``bit_backend`` are local scale knobs:
     like everywhere else in the system they change wall-clock only, never the
-    results, byte counts or the replayed transcript.
+    results, byte counts or the replayed transcript.  ``transport`` selects
+    the backhaul backend (``repro.core.config.TRANSPORT_CHOICES``): ``"sim"``
+    replays on the deterministic simulator, ``"tcp"`` drives the same rounds
+    over real localhost sockets with station worker processes.  Fault-free
+    runs produce identical results and byte counts on both; wire latencies
+    become wall-clock measurements on ``"tcp"``.
     """
     if drive not in WORKLOAD_DRIVE_CHOICES:
         raise ValueError(
@@ -183,6 +189,7 @@ def run_workload(
         shard_count=shard_count,
         bit_backend=bit_backend,
         network_config=network_config,
+        transport=transport,
     )
     dataset = build_dataset(cluster_spec.dataset)
     sampler = _QuerySampler(spec, dataset)

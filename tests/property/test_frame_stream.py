@@ -1,0 +1,160 @@
+"""Property-based tests of stream-frame reassembly under arbitrary chunking.
+
+The decoder's contract: however a well-formed frame sequence is chopped into
+read chunks — byte-by-byte, coalesced, split mid-header or mid-payload — the
+frames reassemble exactly, in order, with ``crc_ok`` true.  Any buffer whose
+head cannot open a frame raises the typed
+:class:`~repro.wire.errors.WireFormatError` instead of mis-framing; payload
+damage inside a well-formed frame is reported via ``crc_ok=False`` while the
+decoder stays in sync.  These are the invariants the TCP transport's center,
+proxy and station workers all lean on (``repro.distributed.transport``).
+"""
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wire import (
+    FrameStreamDecoder,
+    STREAM_HEADER_SIZE,
+    STREAM_MAGIC,
+    WireFormatError,
+    encode_stream_frame,
+)
+
+payloads_strategy = st.lists(
+    st.binary(min_size=0, max_size=200), min_size=0, max_size=8
+)
+
+
+def chop(data: bytes, cut_points: list[int]) -> list[bytes]:
+    """Split ``data`` at the given relative cut points (any values accepted)."""
+    cuts = sorted({point % (len(data) + 1) for point in cut_points})
+    chunks = []
+    previous = 0
+    for cut in cuts + [len(data)]:
+        chunks.append(data[previous:cut])
+        previous = cut
+    return chunks
+
+
+class TestReassembly:
+    @given(
+        payloads=payloads_strategy,
+        cut_points=st.lists(st.integers(min_value=0), max_size=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_chunking_reassembles_exactly(self, payloads, cut_points):
+        stream = b"".join(encode_stream_frame(payload) for payload in payloads)
+        decoder = FrameStreamDecoder()
+        frames = []
+        for chunk in chop(stream, cut_points):
+            frames += decoder.feed(chunk)
+        assert [frame.payload for frame in frames] == payloads
+        assert all(frame.crc_ok for frame in frames)
+        assert decoder.at_boundary
+        decoder.expect_boundary()
+
+    @given(payloads=payloads_strategy.filter(bool), keep=st.integers(min_value=1))
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_never_fabricates_a_frame(self, payloads, keep):
+        stream = b"".join(encode_stream_frame(payload) for payload in payloads)
+        cut = keep % len(stream)
+        decoder = FrameStreamDecoder()
+        frames = decoder.feed(stream[:cut])
+        # Every frame the decoder released is a true prefix of the sequence;
+        # the cut-off remainder is buffered, never guessed at.
+        assert [frame.payload for frame in frames] == payloads[: len(frames)]
+        assert decoder.buffered == cut - sum(
+            STREAM_HEADER_SIZE + len(payload) for payload in payloads[: len(frames)]
+        )
+        if decoder.buffered:
+            with pytest.raises(WireFormatError):
+                decoder.expect_boundary()
+
+    @given(
+        payloads=payloads_strategy,
+        junk=st.binary(min_size=1, max_size=40),
+        cut_points=st.lists(st.integers(min_value=0), max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_desynchronized_stream_raises_or_flags_never_misframes(
+        self, payloads, junk, cut_points
+    ):
+        """Garbage after valid frames can only surface as an error or a CRC flag.
+
+        A junk tail that happens to spell a well-formed header may decode as a
+        frame, but then the CRC brands it untrusted (the adversarial-magic case
+        the module docstring calls out); it can never be returned as a trusted
+        payload the sender did not frame.
+        """
+        stream = b"".join(encode_stream_frame(payload) for payload in payloads) + junk
+        decoder = FrameStreamDecoder()
+        delivered = []
+        try:
+            for chunk in chop(stream, cut_points):
+                delivered += decoder.feed(chunk)
+        except WireFormatError:
+            pass
+        trusted = [frame.payload for frame in delivered if frame.crc_ok]
+        assert trusted == payloads[: len(trusted)]
+
+    @given(
+        payloads=payloads_strategy.filter(bool),
+        victim=st.integers(min_value=0),
+        bit=st.integers(min_value=0, max_value=7),
+        offset=st.integers(min_value=0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_payload_damage_flags_crc_and_keeps_sync(
+        self, payloads, victim, bit, offset
+    ):
+        victim %= len(payloads)
+        if not payloads[victim]:
+            payloads = list(payloads)
+            payloads[victim] = b"\x00"
+        stream = bytearray()
+        damaged_at = None
+        for index, payload in enumerate(payloads):
+            frame = encode_stream_frame(payload)
+            if index == victim:
+                position = STREAM_HEADER_SIZE + offset % len(payload)
+                frame = bytearray(frame)
+                frame[position] ^= 1 << bit
+                damaged_at = index
+            stream += bytes(frame)
+        frames = FrameStreamDecoder().feed(bytes(stream))
+        assert len(frames) == len(payloads)
+        for index, frame in enumerate(frames):
+            if index == damaged_at:
+                assert not frame.crc_ok
+            else:
+                assert frame.crc_ok
+                assert frame.payload == payloads[index]
+
+
+class TestHeaderEdgeCases:
+    @given(prefix=st.binary(min_size=1, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_partial_header_is_decisive_as_soon_as_possible(self, prefix):
+        decoder = FrameStreamDecoder()
+        if STREAM_MAGIC.startswith(prefix):
+            assert decoder.feed(prefix) == []
+            assert decoder.buffered == len(prefix)
+        else:
+            with pytest.raises(WireFormatError):
+                decoder.feed(prefix)
+
+    @given(length=st.integers(min_value=1, max_value=64), crc=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_header_only_never_yields_until_payload_arrives(self, length, crc):
+        header = struct.pack(">4sII", STREAM_MAGIC, length, crc)
+        decoder = FrameStreamDecoder()
+        assert decoder.feed(header) == []
+        payload = b"\x00" * length
+        frames = decoder.feed(payload)
+        assert len(frames) == 1
+        assert frames[0].crc_ok == (zlib.crc32(payload) == crc)

@@ -1,0 +1,1 @@
+"""Cross-transport conformance and chaos-proxy suites (``-m transport``)."""

@@ -1,0 +1,185 @@
+"""The chaos proxy over real sockets mirrors the simulator's fault model.
+
+The TCP backend's byte-level fault proxy draws from the *same* seeded
+:class:`~repro.distributed.faults.FaultInjector` as the simulator — a pure
+function of ``(net_seed, frame_id, attempt)`` — so for profiles whose effects
+are count-observable (loss, corruption, duplication) the two backends must
+agree exactly: same retransmit/drop/duplicate/corrupt tallies, same surviving
+results, same byte ledgers.  Timing-dominated profiles (``reordering``,
+``straggler``) are deliberately outside this grid: the simulator's
+retransmission timer runs on virtual time and can fire before a reorder-held
+frame lands, while TCP's generous real timers cannot — a sanctioned
+divergence documented in ``docs/transport.md``.
+
+The second half pins *failure-path* parity: with the retransmission budget
+cut to one attempt, a seed that kills a round on the simulator kills it on
+TCP with the same typed :class:`RoundTimeoutError` (same failed transfers,
+same delivered frames), and ``allow_partial`` salvages the same partial round
+on both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import RoundOptions
+from repro.distributed.events import RoundTimeoutError
+
+from .conftest import open_cluster
+from .util import wait_until
+
+pytestmark = pytest.mark.transport
+
+#: Count-observable named profiles — the grid the parity claim covers.
+PARITY_PROFILES = ("lossy", "corrupting", "duplicating")
+NET_SEEDS = (0, 7)
+
+
+def _round_pair(cluster, batch, net_seed):
+    """Two consecutive rounds (the second exercises per-round frame-id reset)."""
+    cluster.subscribe(batch)
+    return [
+        cluster.round(RoundOptions(net_seed=net_seed)),
+        cluster.round(RoundOptions(net_seed=net_seed)),
+    ]
+
+
+def _fault_ledger(report):
+    costs = report.costs
+    return {
+        "results": report.results,
+        "downlink_bytes": report.downlink_bytes,
+        "uplink_bytes": report.uplink_bytes,
+        "retransmits": costs.retransmit_count,
+        "dropped": costs.dropped_frame_count,
+        "duplicate": costs.duplicate_frame_count,
+        "corrupt": costs.corrupt_frame_count,
+        "lost": costs.lost_station_count,
+        "goodput": costs.goodput_fraction,
+    }
+
+
+@pytest.mark.parametrize(
+    "profile,net_seed",
+    [(p, s) for p in PARITY_PROFILES for s in NET_SEEDS],
+    ids=[f"{p}-net{s}" for p in PARITY_PROFILES for s in NET_SEEDS],
+)
+def test_seeded_faults_hit_identically_on_both_backends(
+    dataset, batch_a, profile, net_seed
+):
+    ledgers = {}
+    for transport in ("sim", "tcp"):
+        with open_cluster(
+            dataset, transport, profile=profile, net_seed=net_seed
+        ) as cluster:
+            ledgers[transport] = [
+                _fault_ledger(report)
+                for report in _round_pair(cluster, batch_a, net_seed)
+            ]
+    assert ledgers["tcp"] == ledgers["sim"]
+    # The grid is only meaningful if the seeds actually exercise the profile.
+    exercised = sum(
+        ledger["retransmits"] + ledger["dropped"] + ledger["duplicate"] + ledger["corrupt"]
+        for ledger in ledgers["sim"]
+    )
+    assert exercised > 0
+
+
+class TestFailurePathParity:
+    """max_attempts=1 + lossy: the budget-exhaustion paths agree exactly."""
+
+    @staticmethod
+    def _probe_seeds(dataset, batch, *, want_failure: bool, limit: int = 40) -> int:
+        """First net seed whose (cheap, simulated) round fails — or survives."""
+        for net_seed in range(limit):
+            with open_cluster(
+                dataset, "sim", profile="lossy", net_seed=net_seed, max_attempts=1
+            ) as cluster:
+                cluster.subscribe(batch)
+                try:
+                    cluster.round(RoundOptions(net_seed=net_seed))
+                except RoundTimeoutError:
+                    if want_failure:
+                        return net_seed
+                else:
+                    if not want_failure:
+                        return net_seed
+        raise AssertionError(
+            f"no seed under {limit} produced want_failure={want_failure} on the "
+            "simulator; the lossy profile no longer exercises this path"
+        )
+
+    def test_round_timeout_error_is_transport_invariant(self, dataset, batch_a):
+        net_seed = self._probe_seeds(dataset, batch_a, want_failure=True)
+        errors = {}
+        for transport in ("sim", "tcp"):
+            with open_cluster(
+                dataset, transport, profile="lossy", net_seed=net_seed, max_attempts=1
+            ) as cluster:
+                cluster.subscribe(batch_a)
+                with pytest.raises(RoundTimeoutError) as excinfo:
+                    cluster.round(RoundOptions(net_seed=net_seed))
+                errors[transport] = excinfo.value
+        assert str(errors["tcp"]) == str(errors["sim"])
+        assert errors["tcp"].failed_transfers == errors["sim"].failed_transfers
+        assert sorted(errors["tcp"].delivered_ids) == sorted(errors["sim"].delivered_ids)
+
+    def test_surviving_single_attempt_round_is_transport_invariant(
+        self, dataset, batch_a
+    ):
+        net_seed = self._probe_seeds(dataset, batch_a, want_failure=False)
+        ledgers = {}
+        for transport in ("sim", "tcp"):
+            with open_cluster(
+                dataset, transport, profile="lossy", net_seed=net_seed, max_attempts=1
+            ) as cluster:
+                cluster.subscribe(batch_a)
+                ledgers[transport] = _fault_ledger(
+                    cluster.round(RoundOptions(net_seed=net_seed))
+                )
+        assert ledgers["tcp"] == ledgers["sim"]
+
+    def test_allow_partial_salvages_the_same_round_on_both_backends(
+        self, dataset, batch_a
+    ):
+        net_seed = self._probe_seeds(dataset, batch_a, want_failure=True)
+        ledgers = {}
+        for transport in ("sim", "tcp"):
+            with open_cluster(
+                dataset,
+                transport,
+                profile="lossy",
+                net_seed=net_seed,
+                max_attempts=1,
+                allow_partial=True,
+            ) as cluster:
+                cluster.subscribe(batch_a)
+                report = cluster.round(RoundOptions(net_seed=net_seed))
+                ledgers[transport] = _fault_ledger(report)
+        assert ledgers["tcp"] == ledgers["sim"]
+        assert ledgers["tcp"]["lost"] > 0
+
+
+class TestWorkerLifecycle:
+    """The manager's worker pool is observable and torn down cleanly."""
+
+    def test_workers_exit_after_close(self, dataset, batch_a):
+        from repro.distributed.transport.tcp import TcpTransportManager
+
+        cluster = open_cluster(dataset, "tcp")
+        try:
+            cluster.subscribe(batch_a)
+            cluster.round(RoundOptions(net_seed=12))
+            manager = cluster._tcp_manager
+            assert isinstance(manager, TcpTransportManager)
+            procs = list(manager._procs.values())
+            assert procs, "a TCP round must have spawned station workers"
+            assert all(proc.poll() is None for proc in procs)
+        finally:
+            cluster.close()
+        wait_until(
+            lambda: all(proc.poll() is not None for proc in procs),
+            timeout_s=10.0,
+            what="station worker processes to exit after Cluster.close()",
+            describe=lambda: [proc.poll() for proc in procs],
+        )

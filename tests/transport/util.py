@@ -1,0 +1,61 @@
+"""Flake-prevention helpers shared by the transport test suites.
+
+Real-socket tests live or die by their deadlines: a CI box under load can
+stretch a localhost round by an order of magnitude, so every timeout in this
+package goes through :func:`generous`, which multiplies a base deadline that
+is already far beyond the expected duration by the ``REPRO_TCP_DEADLINE_MULT``
+environment knob (the dedicated CI job sets it higher than local runs).
+Polling waits go through :func:`wait_until`, which fails with an explicit
+diagnostic — what was being waited for, how long, and the last observed state
+— instead of the bare ``assert False`` a sleep-and-hope loop produces.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+
+def deadline_multiplier() -> float:
+    """The suite-wide deadline stretch factor (never below 1)."""
+    raw = os.environ.get("REPRO_TCP_DEADLINE_MULT", "")
+    try:
+        value = float(raw) if raw else 1.0
+    except ValueError:
+        value = 1.0
+    return max(1.0, value)
+
+
+def generous(seconds: float) -> float:
+    """A base deadline stretched by the environment's multiplier."""
+    return float(seconds) * deadline_multiplier()
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    *,
+    timeout_s: float,
+    what: str,
+    poll_s: float = 0.05,
+    describe: Callable[[], object] | None = None,
+) -> None:
+    """Poll ``predicate`` until true or fail loudly with diagnostics.
+
+    ``timeout_s`` is taken as a *base* deadline and stretched by
+    :func:`generous`; ``describe`` (when given) contributes the last observed
+    state to the failure message so a timeout is debuggable from the CI log
+    alone.
+    """
+    budget = generous(timeout_s)
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll_s)
+    observed = f"; last observed: {describe()!r}" if describe is not None else ""
+    raise AssertionError(
+        f"timed out after {budget:.1f}s waiting for {what}"
+        f" (base {float(timeout_s):.1f}s x multiplier {deadline_multiplier():.1f})"
+        f"{observed}"
+    )

@@ -1,0 +1,118 @@
+"""Deterministic unit tests of the length-prefixed stream framing layer.
+
+These pin the exact header layout (magic, length, CRC) and the decoder's
+three-outcome contract — complete frame, "need more bytes", or a typed
+:class:`WireFormatError` — with hand-built byte sequences.  The exhaustive
+arbitrary-chunking coverage lives in ``tests/property/test_frame_stream.py``;
+this module is the dependency-free pin that also runs on the no-NumPy leg.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.wire import (
+    FrameStreamDecoder,
+    MAX_FRAME_BYTES,
+    STREAM_HEADER_SIZE,
+    STREAM_MAGIC,
+    StreamFrame,
+    WireFormatError,
+    encode_stream_frame,
+)
+
+
+class TestEncodeStreamFrame:
+    def test_header_layout_is_magic_length_crc(self):
+        payload = b"hello, stations"
+        frame = encode_stream_frame(payload)
+        assert frame[:4] == STREAM_MAGIC
+        assert frame[4:8] == struct.pack(">I", len(payload))
+        assert frame[8:12] == struct.pack(">I", zlib.crc32(payload))
+        assert frame[12:] == payload
+        assert len(frame) == STREAM_HEADER_SIZE + len(payload)
+
+    def test_empty_payload_frames_to_bare_header(self):
+        frame = encode_stream_frame(b"")
+        assert len(frame) == STREAM_HEADER_SIZE
+        (decoded,) = FrameStreamDecoder().feed(frame)
+        assert decoded == StreamFrame(payload=b"", crc_ok=True)
+
+    def test_oversize_payload_is_rejected_at_encode_time(self):
+        class _HugeBytes(bytes):
+            def __len__(self) -> int:
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(ValueError, match="frame limit"):
+            encode_stream_frame(_HugeBytes())
+
+
+class TestFrameStreamDecoder:
+    def test_single_frame_round_trips(self):
+        decoder = FrameStreamDecoder()
+        frames = decoder.feed(encode_stream_frame(b"payload"))
+        assert frames == [StreamFrame(payload=b"payload", crc_ok=True)]
+        assert decoder.at_boundary
+
+    def test_coalesced_frames_decode_in_order(self):
+        stream = b"".join(
+            encode_stream_frame(bytes([value]) * value) for value in (1, 2, 3)
+        )
+        frames = FrameStreamDecoder().feed(stream)
+        assert [frame.payload for frame in frames] == [b"\x01", b"\x02\x02", b"\x03" * 3]
+        assert all(frame.crc_ok for frame in frames)
+
+    def test_byte_at_a_time_feeding_reassembles(self):
+        decoder = FrameStreamDecoder()
+        frames = []
+        for byte in encode_stream_frame(b"one byte at a time"):
+            frames += decoder.feed(bytes([byte]))
+        assert [frame.payload for frame in frames] == [b"one byte at a time"]
+        decoder.expect_boundary()
+
+    def test_partial_frame_stays_buffered(self):
+        decoder = FrameStreamDecoder()
+        frame = encode_stream_frame(b"held back")
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.buffered == len(frame) - 1
+        assert not decoder.at_boundary
+        with pytest.raises(WireFormatError, match="ended mid-frame"):
+            decoder.expect_boundary()
+        # The final byte releases the frame.
+        (decoded,) = decoder.feed(frame[-1:])
+        assert decoded.payload == b"held back"
+
+    def test_bad_magic_raises_immediately(self):
+        with pytest.raises(WireFormatError, match="bad frame magic"):
+            FrameStreamDecoder().feed(b"JUNK" + b"\x00" * 8)
+
+    def test_partial_bad_magic_raises_before_full_header(self):
+        # Two bytes that cannot be a prefix of b"DIMS" are already decisive.
+        with pytest.raises(WireFormatError, match="desynchronized"):
+            FrameStreamDecoder().feed(b"XY")
+
+    def test_partial_good_magic_is_not_an_error(self):
+        decoder = FrameStreamDecoder()
+        assert decoder.feed(STREAM_MAGIC[:2]) == []
+        assert decoder.buffered == 2
+
+    def test_absurd_length_is_desynchronization(self):
+        header = struct.pack(">4sII", STREAM_MAGIC, MAX_FRAME_BYTES + 1, 0)
+        with pytest.raises(WireFormatError, match="over the"):
+            FrameStreamDecoder().feed(header)
+
+    def test_corrupted_payload_yields_crc_ok_false_and_stays_in_sync(self):
+        good = encode_stream_frame(b"after the damage")
+        damaged = bytearray(encode_stream_frame(b"damaged payload!"))
+        damaged[STREAM_HEADER_SIZE] ^= 0xFF
+        frames = FrameStreamDecoder().feed(bytes(damaged) + good)
+        assert [frame.crc_ok for frame in frames] == [False, True]
+        assert frames[1].payload == b"after the damage"
+
+    def test_corrupted_header_crc_flags_the_frame(self):
+        frame = bytearray(encode_stream_frame(b"crc field hit"))
+        frame[8] ^= 0x01
+        (decoded,) = FrameStreamDecoder().feed(bytes(frame))
+        assert not decoded.crc_ok
+        assert decoded.payload == b"crc field hit"
