@@ -49,7 +49,7 @@ from repro.distributed.basestation import BaseStationNode
 from repro.distributed.datacenter import DataCenterNode
 from repro.distributed.executor import ShardedStationRunner, merge_shard_outcomes
 from repro.distributed.faults import FaultPlan, resolve_fault_plan
-from repro.distributed.messages import Message, MessageKind
+from repro.distributed.messages import Message, MessageKind, estimated_size_fallbacks
 from repro.distributed.metrics import CostReport
 from repro.distributed.network import NetworkConfig, SimulatedNetwork
 from repro.distributed.transport.base import Transport
@@ -414,6 +414,7 @@ class Cluster:
         options = options or RoundOptions()
         if k is None:
             k = options.k
+        fallbacks_before = estimated_size_fallbacks()
         participants = self._participants(options.station_ids)
         network = self._network_for(protocol, options.net_seed)
         self._center.clear_inbox()
@@ -516,6 +517,13 @@ class Cluster:
             corrupt_frame_count=stats.frames_corrupt,
             lost_station_count=len(lost_stations),
             goodput_fraction=stats.goodput_fraction,
+            # How many times this round's byte accounting fell back to the
+            # estimate model (0 = every charged byte is a real codec byte).
+            extra=(
+                {"estimated_size_fallbacks": float(fallback_count)}
+                if (fallback_count := estimated_size_fallbacks() - fallbacks_before)
+                else {}
+            ),
         )
         return SimulationOutcome(
             method=protocol.name,

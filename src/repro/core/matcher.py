@@ -171,16 +171,27 @@ class BaseStationMatcher:
         """
         if not bits_checked and not all(wbf.bits_all_set_rows(rows)):
             return {}
-        common: set[tuple[str, Fraction]] | None = None
-        for row in rows:
-            weights = wbf.query_weights_at(row, bits_checked=True)
-            if not weights:
-                return {}
-            common = set(weights) if common is None else (common & weights)
+        if wbf.MASK_INDEX_ENABLED:
+            # One integer-mask AND across all sampled positions: equivalent to
+            # intersecting per-row weight sets (intersection is associative and
+            # the result is empty iff any partial intersection is), but without
+            # building a Python set per row.
+            common: "frozenset | set | None" = wbf.consistent_weights_over(
+                position for row in rows for position in row
+            )
             if not common:
                 return {}
-        if not common:
-            return {}
+        else:
+            common = None
+            for row in rows:
+                weights = wbf.query_weights_at(row, bits_checked=True)
+                if not weights:
+                    return {}
+                common = set(weights) if common is None else (common & weights)
+                if not common:
+                    return {}
+            if not common:
+                return {}
         grouped: dict[str, set[Fraction]] = {}
         for query_id, weight in common:
             grouped.setdefault(query_id, set()).add(weight)

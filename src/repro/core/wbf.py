@@ -42,10 +42,17 @@ class WeightedBloomFilter:
         require_positive(hash_count, "hash_count")
         self._bits = BitArray(bit_count, backend=backend)
         self._hashes = HashFamily(hash_count, bit_count, seed=seed)
-        # Sparse map: bit index -> set of weights attached to that bit.
-        self._weights: dict[int, set[Hashable]] = {}
+        # Sparse map: bit index -> weights attached to that bit.  Values are
+        # plain sets when built by insertion; filters decoded from the wire
+        # hold interned frozensets shared across positions (copy-on-write: an
+        # insertion replaces the frozenset with a mutable copy for that
+        # position only).
+        self._weights: dict[int, "set[Hashable] | frozenset"] = {}
         self._item_count = 0
         self._revision = 0
+        # revision -> (weights tuple, position mask dict, mask->frozenset memo);
+        # see _weight_mask_index.
+        self._mask_index: tuple[int, tuple, dict[int, int], dict[int, frozenset]] | None = None
 
     # -- properties ------------------------------------------------------------
 
@@ -109,7 +116,14 @@ class WeightedBloomFilter:
         """
         wbf = cls(bit_count, hash_count, seed=seed, backend=backend)
         wbf._bits = BitArray.from_bytes(bit_count, bits, backend=backend)
-        wbf._weights = {int(position): set(attached) for position, attached in weights.items()}
+        # Keep decoded frozensets by reference: the codec interns one frozenset
+        # per distinct index combination, so positions sharing a weight set
+        # share one object instead of each copying it into a fresh set.
+        # Insertions copy-on-write (see :meth:`add`).
+        wbf._weights = {
+            int(position): attached if type(attached) is frozenset else set(attached)
+            for position, attached in weights.items()
+        }
         wbf._item_count = int(item_count)
         return wbf
 
@@ -151,9 +165,21 @@ class WeightedBloomFilter:
             raise TypeError(
                 f"weight must be hashable, got {type(weight).__name__}"
             ) from error
+        weights = self._weights
         for position in self._hashes.positions(item):
             self._bits.set(position)
-            self._weights.setdefault(position, set()).add(weight)
+            attached = weights.get(position)
+            if attached is None:
+                weights[position] = {weight}
+            elif type(attached) is frozenset:
+                # Copy-on-write: this position held a frozenset shared with
+                # other positions by the wire decoder; give it a private
+                # mutable copy before touching it.
+                mutable = set(attached)
+                mutable.add(weight)
+                weights[position] = mutable
+            else:
+                attached.add(weight)
         self._item_count += 1
         self._revision += 1
 
@@ -184,7 +210,15 @@ class WeightedBloomFilter:
         self._bits.set_many(flat)
         weights = self._weights
         for position in set(flat):
-            weights.setdefault(position, set()).add(weight)
+            attached = weights.get(position)
+            if attached is None:
+                weights[position] = {weight}
+            elif type(attached) is frozenset:
+                mutable = set(attached)
+                mutable.add(weight)
+                weights[position] = mutable
+            else:
+                attached.add(weight)
         self._item_count += len(items)
         self._revision += 1
 
@@ -279,6 +313,92 @@ class WeightedBloomFilter:
                     break
             results.append(frozenset(common) if common else empty)
         return results
+
+    # -- batched consistency probe (mask index) ------------------------------------
+
+    #: Class-level switch for the integer-mask probe index.  Benchmarks flip it
+    #: off to measure the per-row set-intersection path; results are identical
+    #: either way (see :meth:`consistent_weights_over`).
+    MASK_INDEX_ENABLED = True
+
+    def _weight_mask_index(
+        self,
+    ) -> tuple[int, tuple, dict[int, int], dict[int, frozenset]]:
+        """Lazily built probe index: each position's weight set as an int bitmask.
+
+        Distinct weights get consecutive bit numbers; a position's mask has the
+        bits of its attached weights set.  Intersecting weight sets across many
+        positions then collapses to integer ``&``.  The index is keyed on
+        :attr:`revision` so any insertion invalidates it, and the final
+        ``mask -> frozenset`` memo interns result sets so repeated matches of
+        the same weight combination return one shared object.
+        """
+        index = self._mask_index
+        if index is not None and index[0] == self._revision:
+            return index
+        weight_bits: dict[Hashable, int] = {}
+        weight_list: list[Hashable] = []
+        masks: dict[int, int] = {}
+        for position, attached in self._weights.items():
+            mask = 0
+            for weight in attached:
+                bit = weight_bits.get(weight)
+                if bit is None:
+                    bit = len(weight_list)
+                    weight_bits[weight] = bit
+                    weight_list.append(weight)
+                mask |= 1 << bit
+            masks[position] = mask
+        index = (self._revision, tuple(weight_list), masks, {0: frozenset()})
+        self._mask_index = index
+        return index
+
+    def consistent_weights_over(self, positions: Iterable[int]) -> frozenset:
+        """Weights attached at **every** one of ``positions`` (bits assumed set).
+
+        Equivalent to intersecting :meth:`query_weights_at` (with
+        ``bits_checked=True``) over all the positions at once: a position with
+        no attached weights, or an empty cross-position intersection, yields
+        the empty frozenset.  An empty ``positions`` iterable also yields the
+        empty frozenset — matching the matcher's "no rows → no match" rule.
+        The caller must have verified bit membership (e.g. via
+        :meth:`bits_all_set_rows`) first.
+        """
+        revision, weight_list, masks, memo = self._weight_mask_index()
+        empty: frozenset = frozenset()
+        acc = -1
+        get = masks.get
+        for position in positions:
+            mask = get(position)
+            if mask is None:
+                return empty
+            acc &= mask
+            if not acc:
+                return empty
+        if acc == -1:
+            return empty
+        result = memo.get(acc)
+        if result is None:
+            members = []
+            remaining = acc
+            while remaining:
+                low = remaining & -remaining
+                members.append(weight_list[low.bit_length() - 1])
+                remaining ^= low
+            result = frozenset(members)
+            memo[acc] = result
+        return result
+
+    # -- pickling ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the derived mask index: it is bulky and rebuilt on demand."""
+        state = dict(self.__dict__)
+        state["_mask_index"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # -- introspection -------------------------------------------------------------
 

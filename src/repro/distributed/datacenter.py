@@ -35,13 +35,26 @@ class DataCenterNode(Node):
         wire bytes by the transport, deduplicated at the frame layer.  The
         simulator aggregates them in canonical station order so delivery
         reordering can never change the ranking.
+
+        Every protocol's ``MATCH_REPORT`` payload is a list (possibly empty);
+        anything else in the inbox is a protocol violation and raises
+        :class:`~repro.wire.errors.WireFormatError` — a malformed report must
+        surface like transport corruption does, never silently shrink the
+        aggregation input.
         """
         from repro.distributed.messages import MessageKind
+        from repro.wire.errors import WireFormatError
 
         grouped: dict[str, list[object]] = {}
         for message in self._inbox:
             if message.kind is not MessageKind.MATCH_REPORT:
                 continue
-            reports = message.payload if isinstance(message.payload, list) else []
-            grouped.setdefault(message.sender, []).extend(reports)
+            payload = message.payload
+            if not isinstance(payload, list):
+                raise WireFormatError(
+                    f"MATCH_REPORT from {message.sender!r} carries a "
+                    f"{type(payload).__name__} payload; every protocol encodes "
+                    "match reports as a list"
+                )
+            grouped.setdefault(message.sender, []).extend(payload)
         return grouped

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import os
 import time
+import zlib
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import EXECUTOR_CHOICES
@@ -79,6 +81,135 @@ def _match_shard(
         reports_by_station=results,
         elapsed_s=time.perf_counter() - start,
     )
+
+
+@dataclass(frozen=True)
+class SharedArtifactToken:
+    """Handle to a wire-encoded artifact parked in shared memory.
+
+    The process executor ships this small token instead of pickling the
+    artifact into every shard submission: workers attach the named segment and
+    decode the canonical bytes in place (the wire layer reads straight from
+    the shared buffer).  ``size``/``crc`` identify the content, so a worker's
+    decode cache keyed on them survives across rounds even though the segment
+    name changes.
+    """
+
+    name: str
+    size: int
+    crc: int
+    backend: str
+
+
+def _artifact_bit_backend(artifact: object) -> str:
+    """Bit-storage backend the decoded worker copy should use."""
+    wbf = getattr(artifact, "wbf", None)
+    backend = getattr(wbf if wbf is not None else artifact, "backend_name", None)
+    return backend if isinstance(backend, str) else "auto"
+
+
+def export_shared_artifact(
+    artifact: object,
+) -> "tuple[SharedArtifactToken, shared_memory.SharedMemory] | None":
+    """Encode ``artifact`` once and park the bytes in a shared-memory segment.
+
+    Returns ``None`` when the artifact has no wire encoding (raw in-memory
+    baselines) — the caller then falls back to pickling it per shard.  The
+    caller owns the returned segment and must ``close()`` + ``unlink()`` it
+    once every worker has finished the round.
+    """
+    from repro import wire
+
+    try:
+        data = wire.encode_cached(artifact)
+    except wire.UnsupportedWireTypeError:
+        return None
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+    segment.buf[: len(data)] = data
+    token = SharedArtifactToken(
+        name=segment.name,
+        size=len(data),
+        crc=zlib.crc32(data),
+        backend=_artifact_bit_backend(artifact),
+    )
+    return token, segment
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without enrolling it in the resource tracker.
+
+    The exporting parent owns the segment's lifecycle (it unlinks after the
+    round); a worker that merely attaches must not register it, or the
+    worker's resource tracker warns about "leaked" segments at shutdown that
+    the parent already removed.  Python 3.13 exposes ``track=False`` for
+    exactly this; earlier versions need the registration undone by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: attach registers unconditionally.  Depending on fork
+        # timing that lands in the parent's tracker (where a later unregister
+        # would wrongly drop the parent's own entry) or spawns a fresh tracker
+        # in the worker (which then warns about "leaks" the parent already
+        # unlinked) — so suppress the registration call itself.  Workers are
+        # single-threaded, making the swap race-free in practice.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *_args: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+#: Worker-side single-entry decode cache: ``(size, crc, backend) -> artifact``.
+#: One entry suffices — a round broadcasts one artifact, and consecutive
+#: rounds of a sweep reuse the entry when the artifact did not change.
+_shared_artifact_cache: "tuple[tuple[int, int, str], object] | None" = None
+
+
+def _load_shared_artifact(token: SharedArtifactToken) -> object:
+    """Attach the segment and decode the artifact (cached per worker process)."""
+    global _shared_artifact_cache
+    from repro import wire
+
+    key = (token.size, token.crc, token.backend)
+    cached = _shared_artifact_cache
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    segment = _attach_untracked(token.name)
+    view = segment.buf[: token.size]
+    try:
+        if zlib.crc32(view) != token.crc:
+            raise ValueError(
+                f"shared artifact segment {token.name!r} does not match its "
+                "token checksum"
+            )
+        # The wire layer reads straight from the shared buffer; decoded
+        # objects materialize their own bytes, so nothing references the
+        # segment once decode returns.
+        artifact = wire.decode(view, backend=token.backend)
+    finally:
+        del view
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - decode error still in flight
+            # The raising frame's traceback pins buffer views; the mapping is
+            # released when the exception is collected (or at process exit).
+            pass
+    _shared_artifact_cache = (key, artifact)
+    return artifact
+
+
+def _match_shard_shared(
+    shard_index: int,
+    protocol: MatchingProtocol,
+    stations: Sequence[tuple[str, PatternSet]],
+    token: SharedArtifactToken,
+) -> ShardOutcome:
+    """Worker entry point for the shared-memory artifact handoff."""
+    return _match_shard(shard_index, protocol, stations, _load_shared_artifact(token))
 
 
 class ShardedStationRunner:
@@ -159,6 +290,25 @@ class ShardedStationRunner:
                 for index, shard in enumerate(shards)
             ]
         pool = self._ensure_pool()
+        exported = (
+            export_shared_artifact(artifact)
+            if self._executor == "process" and artifact is not None
+            else None
+        )
+        if exported is not None:
+            # Shared-memory handoff: one encode of the artifact total, a tiny
+            # token per shard, instead of pickling the artifact per submission.
+            token, segment = exported
+            try:
+                futures = [
+                    pool.submit(_match_shard_shared, index, protocol, shard, token)
+                    for index, shard in enumerate(shards)
+                ]
+                outcomes = [future.result() for future in futures]
+            finally:
+                segment.close()
+                segment.unlink()
+            return outcomes
         futures = [
             pool.submit(_match_shard, index, protocol, shard, artifact)
             for index, shard in enumerate(shards)

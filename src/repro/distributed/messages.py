@@ -10,10 +10,53 @@ objects outside the protocol vocabulary (raw in-memory baselines).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 
 from repro.utils.serialization import MESSAGE_OVERHEAD_BYTES, estimate_size_bytes
+
+#: Number of times byte accounting fell back from real codec bytes to the
+#: estimate model since the last :func:`reset_estimated_size_fallbacks`.
+_estimate_fallbacks = 0
+_fallback_warned = False
+
+
+def _note_estimate_fallback(payload: object) -> None:
+    """Record (and warn once about) an estimate-model fallback.
+
+    Mixing estimated and real bytes in one cost ledger is legitimate only for
+    payloads deliberately outside the wire vocabulary (raw in-memory
+    baselines); it must never happen silently, so the first fallback of a
+    process warns and every fallback increments a counter the round engine
+    copies onto its :class:`~repro.distributed.metrics.CostReport`.
+    """
+    global _estimate_fallbacks, _fallback_warned
+    _estimate_fallbacks += 1
+    if not _fallback_warned:
+        _fallback_warned = True
+        warnings.warn(
+            "Message byte accounting fell back to the estimate model for a "
+            f"{type(payload).__name__} payload with no wire encoding; real and "
+            "estimated bytes are now mixed in this process's cost ledgers "
+            "(reported once; see CostReport.extra['estimated_size_fallbacks'] "
+            "for per-round counts)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def estimated_size_fallbacks() -> int:
+    """Total estimate-model fallbacks recorded since the last reset."""
+    return _estimate_fallbacks
+
+
+def reset_estimated_size_fallbacks() -> int:
+    """Zero the fallback counter, returning the count it held."""
+    global _estimate_fallbacks
+    count = _estimate_fallbacks
+    _estimate_fallbacks = 0
+    return count
 
 
 class MessageKind(str, Enum):
@@ -98,6 +141,7 @@ class Message:
         try:
             return len(self.payload_wire())
         except wire.UnsupportedWireTypeError:
+            _note_estimate_fallback(self.payload)
             return estimate_size_bytes(self.payload)
 
     def size_bytes(self) -> int:
@@ -115,6 +159,7 @@ class Message:
         try:
             payload_size = len(self.payload_wire())
         except wire.UnsupportedWireTypeError:
+            _note_estimate_fallback(self.payload)
             return self.estimated_size_bytes()
         return wire.message_envelope_size(self.sender, self.recipient, payload_size)
 

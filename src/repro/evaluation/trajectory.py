@@ -111,6 +111,21 @@ def headline_metrics(document: dict) -> list[HeadlineMetric]:
         metrics.append(
             HeadlineMetric("latency.p90", float(cumulative["latency_s"]["p90"]), _LOWER)
         )
+    if "round" in payload and "station_count" in payload:  # 100x-scale round
+        round_metrics = payload["round"]
+        for key, direction in (
+            ("downlink_bytes", _LOWER),
+            ("uplink_bytes", _LOWER),
+            # Deterministic counts: a drop means reports/matches went missing.
+            ("report_count", _HIGHER),
+            ("ranked_count", _HIGHER),
+        ):
+            if key in round_metrics:
+                metrics.append(
+                    HeadlineMetric(f"round.{key}", float(round_metrics[key]), direction)
+                )
+        # The digests are strings, so they cannot ride the numeric gate; the
+        # benchmark itself (and the parity suites) assert byte-identity.
     if "batch_bytes" in payload:  # wire-codec size benchmark
         for key in ("batch_bytes", "batch_bytes_zlib", "report_upload_bytes"):
             if key in payload:

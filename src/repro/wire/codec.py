@@ -189,16 +189,33 @@ def _read_wbf_body(reader: ByteReader, backend: str) -> WeightedBloomFilter:
     table_count = reader.uvarint()
     table = [read_value(reader) for _ in range(table_count)]
     weights: dict[int, frozenset] = {}
+    # Distinct index combinations are few (one per weight-set the encoder ever
+    # attached) while set bits number in the hundreds of thousands at scale,
+    # so the frozensets are interned per combination instead of rebuilt (and
+    # their weights re-hashed) once per set bit.
+    combos: dict[tuple[int, ...], frozenset] = {}
+    read_uvarint = reader.uvarint
     for position in iter_set_bits_in_bytes(bits, bit_count):
-        count = reader.uvarint()
+        count = read_uvarint()
         if count == 0:
             raise WireFormatError(f"WBF weight entry at bit {position} is empty")
-        indices = [reader.uvarint() for _ in range(count)]
-        if any(index >= table_count for index in indices):
-            raise WireFormatError(f"WBF weight table index out of range at bit {position}")
-        if sorted(set(indices)) != indices:
-            raise WireFormatError(f"WBF weight indices not canonical at bit {position}")
-        weights[position] = frozenset(table[index] for index in indices)
+        if count == 1:
+            # Single-index entries (the overwhelmingly common case) are
+            # canonical by construction; only the range check applies.
+            key: tuple[int, ...] = (read_uvarint(),)
+        else:
+            key = tuple(read_uvarint() for _ in range(count))
+            if any(earlier >= later for earlier, later in zip(key, key[1:])):
+                raise WireFormatError(f"WBF weight indices not canonical at bit {position}")
+        attached = combos.get(key)
+        if attached is None:
+            if key[-1] >= table_count:
+                raise WireFormatError(
+                    f"WBF weight table index out of range at bit {position}"
+                )
+            attached = frozenset(table[index] for index in key)
+            combos[key] = attached
+        weights[position] = attached
     return WeightedBloomFilter.from_state(
         bit_count, hash_count, seed, bits, weights, item_count, backend=backend
     )
@@ -465,13 +482,61 @@ def _read_message_body(reader: ByteReader, backend: str):
     if kind_code not in kind_names:
         raise WireFormatError(f"unknown message kind code {kind_code}")
     payload_block = reader.bytes_()
-    payload = decode(payload_block, backend=backend)
+    payload = _decode_payload_cached(payload_block, backend)
     return Message(
         sender=sender,
         recipient=recipient,
         kind=MessageKind(kind_names[kind_code]),
         payload=payload,
     )
+
+
+#: Payload-decode memoization for the broadcast hot path: a round's downlink
+#: sends the *same* artifact bytes inside N per-station envelopes, and decoding
+#: the filter body N times used to dominate round cost (it scaled with cluster
+#: size, not with the data).  The cache maps exact payload-block bytes (plus
+#: the backend) to the decoded artifact, so a broadcast decodes once and every
+#: further station reuses the instance — sharing that the round engine already
+#: sanctions by matching all shards against one decoded artifact.  Guard rails:
+#: only large filter-bearing tags are cached (report lists are per-station
+#: unique; tiny payloads are cheaper to decode than to hash), and each hit is
+#: revalidated against the artifact's mutation revision so an instance mutated
+#: after decode is evicted instead of served.
+_PAYLOAD_DECODE_CACHE: dict[tuple[bytes, str], tuple[object, object]] = {}
+_PAYLOAD_DECODE_CACHE_MAX = 8
+_PAYLOAD_DECODE_MIN_BYTES = 64
+_PAYLOAD_DECODE_TAGS = frozenset({TAG_WBF, TAG_ENCODED_BATCH, TAG_BLOOM_FILTER})
+
+#: Escape hatch for benchmarks measuring the unoptimized per-station decode
+#: path (and for callers that need every decode to build a fresh instance).
+PAYLOAD_DECODE_CACHE_ENABLED = True
+
+
+def _decode_payload_cached(data: bytes, backend: str) -> object:
+    if (
+        not PAYLOAD_DECODE_CACHE_ENABLED
+        or len(data) < _PAYLOAD_DECODE_MIN_BYTES
+        or data[6] not in _PAYLOAD_DECODE_TAGS
+    ):
+        return decode(data, backend=backend)
+    key = (data, backend)
+    entry = _PAYLOAD_DECODE_CACHE.get(key)
+    if entry is not None:
+        obj, revision = entry
+        if object_revision(obj) == revision:
+            return obj
+        del _PAYLOAD_DECODE_CACHE[key]
+    obj = decode(data, backend=backend)
+    if len(_PAYLOAD_DECODE_CACHE) >= _PAYLOAD_DECODE_CACHE_MAX:
+        # Drop the oldest entry (plain dicts preserve insertion order).
+        _PAYLOAD_DECODE_CACHE.pop(next(iter(_PAYLOAD_DECODE_CACHE)))
+    _PAYLOAD_DECODE_CACHE[key] = (obj, object_revision(obj))
+    return obj
+
+
+def clear_payload_decode_cache() -> None:
+    """Drop every memoized payload decode (tests and benchmarks)."""
+    _PAYLOAD_DECODE_CACHE.clear()
 
 
 def _write_value_body(out: bytearray, value: object) -> None:
@@ -561,12 +626,14 @@ def encode(obj: object, *, compress: bool = False) -> bytes:
     return MAGIC + bytes((WIRE_VERSION, flags, tag)) + payload
 
 
-def decode(data: bytes, *, backend: str = "auto") -> object:
+def decode(data: "bytes | bytearray | memoryview", *, backend: str = "auto") -> object:
     """Decode wire bytes back into the artifact they describe.
 
     ``backend`` selects the local bit-storage backend decoded filters are
     materialized on (and is restored into ``DIMatchingConfig.bit_backend``);
-    it never affects which bytes are accepted.
+    it never affects which bytes are accepted.  The buffer may be any
+    bytes-like object; the uncompressed body is read through a zero-copy view
+    rather than sliced out of the frame.
     """
     if len(data) < _HEADER_SIZE:
         raise WireFormatError(
@@ -581,7 +648,7 @@ def decode(data: bytes, *, backend: str = "auto") -> object:
     if flags & ~_KNOWN_FLAGS:
         raise WireFormatError(f"unknown header flags 0x{flags:02x}")
     tag = data[6]
-    body = bytes(data[_HEADER_SIZE:])
+    body: "bytes | memoryview" = memoryview(data)[_HEADER_SIZE:]
     if flags & FLAG_ZLIB:
         try:
             body = zlib.decompress(body)

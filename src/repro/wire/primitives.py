@@ -104,12 +104,24 @@ class ByteReader:
     short, a varint overruns its maximum width, or a value is structurally
     invalid — decoding a truncated or corrupted message can never escape as a
     low-level exception.
+
+    The reader is zero-copy at construction: ``bytes`` buffers are referenced
+    directly and ``bytearray``/``memoryview`` inputs are wrapped in a
+    :class:`memoryview` rather than copied, so decoding a payload embedded in
+    a larger frame never duplicates the frame.  Bytes are materialized only at
+    the accessors that must hand out ``bytes`` (:meth:`raw` and everything
+    built on it).
     """
 
     __slots__ = ("_data", "_offset")
 
-    def __init__(self, data: bytes) -> None:
-        self._data = bytes(data)
+    def __init__(self, data: "bytes | bytearray | memoryview") -> None:
+        if type(data) is bytes:
+            self._data: "bytes | memoryview" = data
+        elif isinstance(data, (bytearray, memoryview)):
+            self._data = memoryview(data)
+        else:
+            self._data = bytes(data)
         self._offset = 0
 
     @property
@@ -133,26 +145,47 @@ class ByteReader:
             )
         start = self._offset
         self._offset += count
-        return self._data[start : self._offset]
+        chunk = self._data[start : self._offset]
+        return chunk if chunk.__class__ is bytes else bytes(chunk)
 
     def u8(self) -> int:
         """Read one unsigned byte."""
-        return self.raw(1)[0]
+        data = self._data
+        offset = self._offset
+        if offset >= len(data):
+            raise WireFormatError(
+                f"buffer truncated: needed 1 bytes at offset {offset}, only 0 remain"
+            )
+        self._offset = offset + 1
+        return data[offset]
 
     def uvarint(self) -> int:
         """Read an unsigned LEB128 varint."""
+        data = self._data
+        offset = self._offset
+        length = len(data)
         result = 0
         shift = 0
-        for count in range(MAX_VARINT_BYTES):
-            byte = self.u8()
+        consumed = 0
+        while consumed < MAX_VARINT_BYTES:
+            if offset >= length:
+                self._offset = offset
+                raise WireFormatError(
+                    f"buffer truncated: needed 1 bytes at offset {offset}, only 0 remain"
+                )
+            byte = data[offset]
+            offset += 1
+            consumed += 1
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self._offset = offset
                 if result > _U64_MAX:
-                    raise WireFormatError(f"varint exceeds 64 bits at offset {self._offset}")
+                    raise WireFormatError(f"varint exceeds 64 bits at offset {offset}")
                 return result
             shift += 7
+        self._offset = offset
         raise WireFormatError(
-            f"varint longer than {MAX_VARINT_BYTES} bytes at offset {self._offset}"
+            f"varint longer than {MAX_VARINT_BYTES} bytes at offset {offset}"
         )
 
     def svarint(self) -> int:

@@ -13,8 +13,8 @@ emitted through :func:`repro.evaluation.benchjson.workload_payload`.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import asdict, dataclass, field
+from fractions import Fraction
 
 from repro.distributed.events import TranscriptEntry, transcript_to_bytes
 
@@ -39,47 +39,67 @@ class StatSummary:
 class StreamingStat:
     """Running aggregate of one per-round quantity.
 
-    Values are kept in sorted order (insertion is O(n), fine for the
-    round-count scale) so cumulative percentile snapshots are available after
-    every round, not only at the end; count/total/min/max are O(1) running
-    fields.  Percentiles use the nearest-rank definition, which is exact and
-    needs no interpolation.
+    :meth:`push` is amortized O(1): values append to a tail buffer and the
+    whole list is re-sorted lazily on the first read after a push (Timsort is
+    near-linear on a sorted-prefix-plus-small-tail list, so a push/read
+    alternation stays cheap and a long push burst costs one sort).  The old
+    ``bisect.insort`` insertion was O(n) *per push* — quadratic over a long
+    workload.  count/total/min/max are O(1) running fields.
+
+    Percentiles use the nearest-rank definition — exact, no interpolation —
+    with the rank computed in pure integer arithmetic via
+    :class:`~fractions.Fraction`: ``ceil(n*q/100)`` on a float ``q`` can land
+    on the wrong side of an integer boundary at large counts, an exact
+    rational ceiling cannot.
     """
 
     def __init__(self) -> None:
-        self._sorted: list[float] = []
+        self._values: list[float] = []
+        self._sorted_count = 0
         self._total = 0.0
 
     def push(self, value: float) -> None:
-        """Fold one round's value into the aggregate."""
+        """Fold one round's value into the aggregate (amortized O(1))."""
         number = float(value)
-        bisect.insort(self._sorted, number)
+        self._values.append(number)
         self._total += number
+
+    def _ordered(self) -> list[float]:
+        if self._sorted_count != len(self._values):
+            self._values.sort()
+            self._sorted_count = len(self._values)
+        return self._values
 
     @property
     def count(self) -> int:
         """Number of values pushed so far."""
-        return len(self._sorted)
+        return len(self._values)
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: "float | int") -> float:
         """Nearest-rank percentile ``q`` (0 < q <= 100) of the pushed values."""
-        if not self._sorted:
+        if not self._values:
             raise ValueError("cannot take a percentile of an empty stream")
         if not 0.0 < q <= 100.0:
             raise ValueError(f"percentile must be within (0, 100], got {q!r}")
-        rank = max(1, -(-len(self._sorted) * q // 100))  # ceil without floats
-        return self._sorted[int(rank) - 1]
+        ordered = self._ordered()
+        quantile = Fraction(q)
+        # ceil(count * q / 100) in exact integer arithmetic.
+        numerator = len(ordered) * quantile.numerator
+        denominator = 100 * quantile.denominator
+        rank = max(1, -(-numerator // denominator))
+        return ordered[rank - 1]
 
     def summary(self) -> StatSummary:
         """Freeze the current cumulative aggregate."""
-        if not self._sorted:
+        if not self._values:
             raise ValueError("cannot summarize an empty stream")
+        ordered = self._ordered()
         return StatSummary(
-            count=len(self._sorted),
+            count=len(ordered),
             total=self._total,
-            mean=self._total / len(self._sorted),
-            minimum=self._sorted[0],
-            maximum=self._sorted[-1],
+            mean=self._total / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
             p50=self.percentile(50),
             p90=self.percentile(90),
             p99=self.percentile(99),

@@ -112,3 +112,82 @@ class TestProcessExecutorPicklability:
         with pytest.raises(Exception):
             DIMatchingConfig(shard_count=-2)
         assert DIMatchingConfig(executor="process", shard_count=3).shard_count == 3
+
+
+class TestSharedArtifactHandoff:
+    """Shared-memory artifact transfer for the process executor."""
+
+    def _artifact(self, small_workload, exact_config):
+        protocol = DIMatchingProtocol(exact_config)
+        return protocol, protocol.encode(list(small_workload.queries))
+
+    def test_export_and_load_round_trip(self, small_workload, exact_config):
+        import repro.distributed.executor as executor_module
+        from repro.distributed.executor import (
+            export_shared_artifact,
+            _load_shared_artifact,
+        )
+
+        from repro import wire
+
+        _, artifact = self._artifact(small_workload, exact_config)
+        exported = export_shared_artifact(artifact)
+        assert exported is not None
+        token, segment = exported
+        try:
+            executor_module._shared_artifact_cache = None
+            loaded = _load_shared_artifact(token)
+            # The worker decodes with the token's resolved bit backend, so
+            # compare against the same decode of the canonical bytes (the
+            # config's "auto" backend is pinned to its resolution either way).
+            assert loaded == wire.decode(wire.encode_cached(artifact), backend=token.backend)
+            # A second load with the same content key is served from cache
+            # even after the segment is gone (cross-round reuse).
+            assert _load_shared_artifact(token) is loaded
+        finally:
+            executor_module._shared_artifact_cache = None
+            segment.close()
+            segment.unlink()
+
+    def test_corrupted_segment_is_rejected(self, small_workload, exact_config):
+        import dataclasses
+
+        import repro.distributed.executor as executor_module
+        from repro.distributed.executor import (
+            export_shared_artifact,
+            _load_shared_artifact,
+        )
+
+        _, artifact = self._artifact(small_workload, exact_config)
+        token, segment = export_shared_artifact(artifact)
+        try:
+            executor_module._shared_artifact_cache = None
+            bad_token = dataclasses.replace(token, crc=token.crc ^ 0xFFFF)
+            with pytest.raises(ValueError, match="checksum"):
+                _load_shared_artifact(bad_token)
+        finally:
+            executor_module._shared_artifact_cache = None
+            segment.close()
+            segment.unlink()
+
+    def test_unencodable_artifact_falls_back_to_pickling(self):
+        from repro.distributed.executor import export_shared_artifact
+
+        assert export_shared_artifact(object()) is None
+
+    def test_process_round_matches_serial(self, small_dataset, small_workload, exact_config):
+        from repro.distributed.simulator import DistributedSimulation
+
+        protocol = DIMatchingProtocol(exact_config)
+        artifact = protocol.encode(list(small_workload.queries))
+        simulation = DistributedSimulation(small_dataset)
+        serial = merge_shard_outcomes(
+            ShardedStationRunner(executor="serial").run(
+                protocol, simulation.stations, artifact
+            )
+        )
+        with ShardedStationRunner(executor="process", max_workers=2) as runner:
+            shared = merge_shard_outcomes(
+                runner.run(protocol, simulation.stations, artifact)
+            )
+        assert shared == serial

@@ -68,3 +68,72 @@ class TestMessage:
     def test_repr_mentions_route(self):
         message = Message("a", "b", MessageKind.CONTROL)
         assert "'a'" in repr(message) and "'b'" in repr(message)
+
+
+class TestEstimateFallbackAccounting:
+    """Falling back from codec bytes to the estimate model is counted + warned."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_counter(self):
+        import repro.distributed.messages as messages_module
+
+        messages_module.reset_estimated_size_fallbacks()
+        warned = messages_module._fallback_warned
+        yield
+        messages_module.reset_estimated_size_fallbacks()
+        messages_module._fallback_warned = warned
+
+    def _opaque_message(self) -> Message:
+        class Opaque:
+            def size_bytes(self) -> int:
+                return 123
+
+        return Message("a", "b", MessageKind.CONTROL, payload=Opaque())
+
+    def test_encodable_payloads_never_count_as_fallbacks(self):
+        from repro.distributed.messages import estimated_size_fallbacks
+
+        message = Message(
+            "bs", "center", MessageKind.MATCH_REPORT,
+            payload=[LocalPattern("u", [1, 2, 3], "bs")],
+        )
+        message.size_bytes()
+        message.payload_bytes()
+        assert estimated_size_fallbacks() == 0
+
+    def test_each_fallback_increments_the_counter(self):
+        import repro.distributed.messages as messages_module
+        from repro.distributed.messages import estimated_size_fallbacks
+
+        messages_module._fallback_warned = True  # silence; warning tested below
+        message = self._opaque_message()
+        assert message.size_bytes() == MESSAGE_OVERHEAD_BYTES + 123
+        assert estimated_size_fallbacks() == 1
+        message.payload_bytes()
+        assert estimated_size_fallbacks() == 2
+
+    def test_reset_returns_and_zeroes_the_count(self):
+        import repro.distributed.messages as messages_module
+        from repro.distributed.messages import (
+            estimated_size_fallbacks,
+            reset_estimated_size_fallbacks,
+        )
+
+        messages_module._fallback_warned = True
+        self._opaque_message().size_bytes()
+        assert reset_estimated_size_fallbacks() == 1
+        assert estimated_size_fallbacks() == 0
+
+    def test_first_fallback_warns_once_per_process(self):
+        import warnings
+
+        import repro.distributed.messages as messages_module
+
+        messages_module._fallback_warned = False
+        message = self._opaque_message()
+        with pytest.warns(RuntimeWarning, match="estimate model.*Opaque"):
+            message.size_bytes()
+        # Subsequent fallbacks stay silent — the counter carries the tally.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            message.payload_bytes()

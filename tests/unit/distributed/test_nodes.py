@@ -72,3 +72,51 @@ class TestDataCenterNode:
             protocol, [LocalPattern("alice", [1, 2, 3, 4], "bs-1")], k=None
         )
         assert results.user_ids() == ["alice"]
+
+    def test_reports_grouped_by_sender_in_arrival_order(self):
+        center = DataCenterNode()
+        first = LocalPattern("alice", [1, 2, 3, 4], "bs-1")
+        second = LocalPattern("bob", [5, 6, 7, 8], "bs-2")
+        third = LocalPattern("carol", [1, 2, 3, 4], "bs-1")
+        for sender, report in (("bs-1", first), ("bs-2", second), ("bs-1", third)):
+            center.receive(
+                Message(
+                    sender, center.node_id, MessageKind.MATCH_REPORT, payload=[report]
+                )
+            )
+        # Empty report lists still register the station as having reported.
+        center.receive(
+            Message("bs-3", center.node_id, MessageKind.MATCH_REPORT, payload=[])
+        )
+        # Non-report traffic is ignored entirely.
+        center.receive(Message("bs-4", center.node_id, MessageKind.CONTROL))
+        grouped = center.reports_by_sender()
+        assert grouped == {"bs-1": [first, third], "bs-2": [second], "bs-3": []}
+
+    def test_non_list_match_report_payload_raises(self):
+        # A MATCH_REPORT whose payload is not a list is a protocol violation:
+        # it must surface like transport corruption, never be coerced to "no
+        # reports" (which would silently shrink the aggregation input).
+        from repro.wire.errors import WireFormatError
+
+        center = DataCenterNode()
+        center.receive(
+            Message(
+                "bs-1",
+                center.node_id,
+                MessageKind.MATCH_REPORT,
+                payload={"user": "alice"},
+            )
+        )
+        with pytest.raises(WireFormatError, match="bs-1.*dict payload"):
+            center.reports_by_sender()
+
+    def test_none_match_report_payload_raises(self):
+        from repro.wire.errors import WireFormatError
+
+        center = DataCenterNode()
+        center.receive(
+            Message("bs-9", center.node_id, MessageKind.MATCH_REPORT, payload=None)
+        )
+        with pytest.raises(WireFormatError, match="NoneType"):
+            center.reports_by_sender()

@@ -1,6 +1,7 @@
 """The streaming aggregation layer in isolation."""
 
 import pytest
+from fractions import Fraction
 
 from repro.workloads.result import (
     RoundMetrics,
@@ -72,6 +73,56 @@ class TestStreamingStat:
             stat.percentile(0)
         with pytest.raises(ValueError):
             stat.percentile(101)
+
+    def test_interleaved_reads_stay_correct(self):
+        # Reads force a lazy re-sort; pushes after a read must be folded into
+        # the next read, repeatedly.
+        stat = StreamingStat()
+        for value in (9.0, 2.0):
+            stat.push(value)
+        assert stat.percentile(50) == 2.0
+        stat.push(1.0)
+        assert stat.summary().minimum == 1.0
+        assert stat.percentile(100) == 9.0
+        stat.push(11.0)
+        assert stat.percentile(100) == 11.0
+        assert stat.summary().count == 4
+
+    def test_hundred_thousand_values_push_fast_and_rank_exactly(self):
+        # Regression guard for the old O(n) insort push (quadratic overall)
+        # and the float nearest-rank formula (can misrank at large counts).
+        import random
+        import time
+
+        count = 100_000
+        values = [float(v) for v in range(count)]
+        random.Random(7).shuffle(values)
+        stat = StreamingStat()
+        start = time.perf_counter()
+        for value in values:
+            stat.push(value)
+        summary = stat.summary()
+        elapsed = time.perf_counter() - start
+        # The insort implementation takes minutes here; the amortized one is
+        # well under a second — 5s leaves room for slow CI machines.
+        assert elapsed < 5.0
+        assert summary.count == count
+        assert summary.minimum == 0.0
+        assert summary.maximum == float(count - 1)
+        # Exact nearest-rank against the definition: rank = ceil(n*q/100).
+        ordered = sorted(values)
+        for q in (1, 50, 90, 99, 100):
+            rank = -(-count * q // 100)
+            assert stat.percentile(q) == ordered[rank - 1]
+        # Fractional percentiles: the rank is computed in exact rational
+        # arithmetic, so an exact-decimal q lands exactly on its boundary
+        # (29.3% of 100k = rank 29300, no float rounding involved) ...
+        assert stat.percentile(Fraction("29.3")) == ordered[29300 - 1]
+        # ... while a float q is honored at the float's exact value: binary
+        # 29.3 is slightly above decimal 29.3, which pushes the ceiling to the
+        # next rank — deterministically, not at the whim of intermediate
+        # float error like `len * q // 100` was.
+        assert stat.percentile(29.3) == ordered[29301 - 1]
 
 
 class TestWorkloadAggregator:
