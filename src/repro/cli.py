@@ -44,8 +44,16 @@ from repro.evaluation.reporting import (
     format_convergence_table,
     format_effectiveness_table,
 )
+from repro.core.exceptions import ConfigurationError
 from repro.utils.asciiplot import render_cdf, render_line_chart, render_table
-from repro.workloads import get_scenario, run_workload, scenario_names, SCENARIOS
+from repro.workloads import (
+    OfferedLoad,
+    RampPhase,
+    get_scenario,
+    run_workload,
+    scenario_names,
+    SCENARIOS,
+)
 
 
 def _non_negative_int(text: str) -> int:
@@ -62,6 +70,33 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for rates that must be > 0."""
+    value = float(text)
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _parse_ramp(text: str) -> "tuple[RampPhase, ...]":
+    """Parse ``label:duration[:multiplier],...`` into a ramp schedule."""
+    phases = []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if len(parts) not in (2, 3) or not parts[0]:
+            raise SystemExit(
+                f"workload run: bad --ramp phase {chunk.strip()!r}; expected "
+                "label:duration_s[:rate_multiplier]"
+            )
+        try:
+            duration = float(parts[1])
+            multiplier = float(parts[2]) if len(parts) == 3 else 1.0
+            phases.append(RampPhase(parts[0], duration, multiplier))
+        except (ValueError, ConfigurationError) as error:
+            raise SystemExit(f"workload run: bad --ramp phase {chunk.strip()!r}: {error}")
+    return tuple(phases)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,9 +202,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Override the scenario seed (the replay identity is (scenario, seed)).",
     )
     run.add_argument(
-        "--drive", default="simulation", choices=list(WORKLOAD_DRIVE_CHOICES),
-        help="simulation = full wire rounds; session = incremental deltas "
-        "through a continuous matching session.",
+        "--drive", default=None, choices=list(WORKLOAD_DRIVE_CHOICES),
+        help="simulation = full wire rounds (default); session = incremental "
+        "deltas through a continuous matching session; open = rate-driven "
+        "admissions on a virtual clock (implied by --arrival-rate).",
+    )
+    run.add_argument(
+        "--arrival-rate", type=_positive_float, default=None, metavar="QPS",
+        help="Open-system target arrival rate in query batches per virtual "
+        "second; implies --drive open and overrides the scenario's offered "
+        "load. Past the cluster's service capacity, queueing delay accrues "
+        "into latency_s (graceful saturation).",
+    )
+    run.add_argument(
+        "--ramp", type=_parse_ramp, default=None,
+        metavar="LABEL:DUR[:MULT],...",
+        help="Open-system ramp schedule, e.g. "
+        "'warm-up:4:0.5,plateau:8,spike:4:2.5,drain:4:0' — each phase offers "
+        "arrival-rate x MULT for DUR virtual seconds.",
+    )
+    run.add_argument(
+        "--arrival-process", default=None, choices=["poisson", "scheduled"],
+        help="Inter-arrival draw process of the open drive: poisson = "
+        "exponential gaps, scheduled = exact 1/rate spacing.",
+    )
+    run.add_argument(
+        "--max-arrivals", type=_positive_int, default=None,
+        help="Cap on admitted arrivals across the whole open-system run.",
     )
     run.add_argument(
         "--executor", default="serial", choices=list(EXECUTOR_CHOICES),
@@ -356,13 +415,55 @@ def _run_workload_list(_args: argparse.Namespace) -> str:
 
 
 def _run_workload_run(args: argparse.Namespace) -> str:
-    if args.drive == "session" and (args.executor != "serial" or args.shards):
+    open_flags = (
+        args.arrival_rate is not None
+        or args.ramp is not None
+        or args.arrival_process is not None
+        or args.max_arrivals is not None
+    )
+    drive = args.drive or ("open" if open_flags else "simulation")
+    if open_flags and drive != "open":
         raise SystemExit(
-            "workload run: --executor/--shards apply only to --drive simulation "
-            "(the session drive matches in-process)"
+            "workload run: --arrival-rate/--ramp/--arrival-process/"
+            "--max-arrivals apply only to --drive open"
+        )
+    if drive == "session" and (args.executor != "serial" or args.shards):
+        raise SystemExit(
+            "workload run: --executor/--shards apply only to the simulation "
+            "and open drives (the session drive matches in-process)"
         )
     spec = get_scenario(args.scenario)
     overrides: dict[str, object] = {}
+    if drive == "open":
+        base = spec.offered
+        if base is None and args.arrival_rate is None:
+            raise SystemExit(
+                f"workload run: scenario {args.scenario!r} declares no "
+                "offered load; pass --arrival-rate"
+            )
+        if open_flags or base is None:
+            try:
+                overrides["offered"] = OfferedLoad(
+                    rate_qps=(
+                        args.arrival_rate
+                        if args.arrival_rate is not None
+                        else base.rate_qps
+                    ),
+                    process=args.arrival_process
+                    or (base.process if base else "poisson"),
+                    ramp=(
+                        args.ramp
+                        if args.ramp is not None
+                        else (base.ramp if base else (RampPhase("plateau", 30.0),))
+                    ),
+                    max_arrivals=(
+                        args.max_arrivals
+                        if args.max_arrivals is not None
+                        else (base.max_arrivals if base else 512)
+                    ),
+                )
+            except ConfigurationError as error:
+                raise SystemExit(f"workload run: {error}")
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     if args.stations is not None:
@@ -383,7 +484,7 @@ def _run_workload_run(args: argparse.Namespace) -> str:
 
     result = run_workload(
         spec,
-        drive=args.drive,
+        drive=drive,
         executor=args.executor,
         shard_count=args.shards,
         bit_backend=args.bit_backend,
@@ -391,16 +492,25 @@ def _run_workload_run(args: argparse.Namespace) -> str:
     )
 
     faulty = spec.fault_profile != "none"
-    columns = [
-        "round", "queries", "stations", "joined", "left",
-        "down B", "up B", "latency s", "precision", "recall",
+    open_run = drive == "open"
+    columns = ["round"]
+    if open_run:
+        columns += ["phase", "arrival s"]
+    columns += [
+        "queries", "stations", "joined", "left",
+        "down B", "up B", "latency s",
     ]
+    if open_run:
+        columns += ["queue s"]
+    columns += ["precision", "recall"]
     if faulty:
         columns += ["retransmits", "goodput", "lost"]
     rows = []
     for metrics in result.rounds:
-        row = [
-            metrics.round_index,
+        row = [metrics.round_index]
+        if open_run:
+            row += [metrics.phase, round(metrics.arrival_s, 3)]
+        row += [
             metrics.query_count,
             metrics.active_station_count,
             len(metrics.joined),
@@ -408,6 +518,10 @@ def _run_workload_run(args: argparse.Namespace) -> str:
             metrics.downlink_bytes,
             metrics.uplink_bytes,
             round(metrics.latency_s, 4),
+        ]
+        if open_run:
+            row += [round(metrics.queue_delay_s, 4)]
+        row += [
             round(metrics.precision, 4),
             round(metrics.recall, 4),
         ]
@@ -419,17 +533,36 @@ def _run_workload_run(args: argparse.Namespace) -> str:
             ]
         rows.append(row)
     header = (
-        f"scenario: {spec.name} (seed {spec.seed}, drive {args.drive}, "
+        f"scenario: {spec.name} (seed {spec.seed}, drive {drive}, "
         f"method {spec.method}, faults {spec.fault_profile}); "
         f"{result.round_count} rounds, {result.total_queries} queries, "
         f"{result.total_bytes} bytes"
     )
+    if open_run and spec.offered is not None:
+        header += (
+            f"; offered {spec.offered.rate_qps:g} qps "
+            f"({spec.offered.process}, {len(spec.offered.ramp)} phase"
+            f"{'s' if len(spec.offered.ramp) != 1 else ''})"
+        )
     summary_lines = []
     for name in ("bytes", "latency_s", "precision", "goodput"):
         stat = result.cumulative[name]
         summary_lines.append(
             f"  {name}: mean {stat.mean:.4g}  p50 {stat.p50:.4g}  "
             f"p90 {stat.p90:.4g}  p99 {stat.p99:.4g}  max {stat.maximum:.4g}"
+        )
+    for window in result.phases:
+        if window.latency is None:
+            summary_lines.append(
+                f"  phase {window.label}: offered {window.offered_qps:g} qps, "
+                "no arrivals"
+            )
+            continue
+        summary_lines.append(
+            f"  phase {window.label}: offered {window.offered_qps:g} qps, "
+            f"achieved {window.achieved_qps:.3g} qps, "
+            f"latency p50 {window.latency.p50:.4g} p99 {window.latency.p99:.4g}, "
+            f"queue max {window.queue_delay.maximum:.4g}"
         )
     output = f"{header}\n{render_table(columns, rows)}\n" + "\n".join(summary_lines)
     if args.json_dir is not None:

@@ -51,10 +51,13 @@ TRANSPORT_CHOICES = ("sim", "tcp")
 #: "simulation" replays every round through the full event-driven transport
 #: (:class:`~repro.distributed.simulator.DistributedSimulation`), "session"
 #: drives an incremental :class:`~repro.core.streaming.ContinuousMatchingSession`
-#: and ships only per-round deltas.  Like the fault-profile names above, the
-#: choices live in the dependency-light core so the CLI and configuration
-#: validation never have to import the engine.
-WORKLOAD_DRIVE_CHOICES = ("simulation", "session")
+#: and ships only per-round deltas, and "open" is the open-system mode where
+#: query-batch admissions are offered by arrival *time* (a rate-driven
+#: virtual-clock queue, see ``WorkloadSpec.offered``) instead of closed-loop
+#: round barriers.  Like the fault-profile names above, the choices live in
+#: the dependency-light core so the CLI and configuration validation never
+#: have to import the engine.
+WORKLOAD_DRIVE_CHOICES = ("simulation", "session", "open")
 
 
 @dataclass(frozen=True)

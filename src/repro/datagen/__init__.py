@@ -23,6 +23,7 @@ from repro.datagen.city import BaseStationSite, CityGrid
 from repro.datagen.generator import SyntheticCdrGenerator, generate_user_interval_values
 from repro.datagen.ground_truth import GroundTruthCohort, build_ground_truth_cohort
 from repro.datagen.mobility import UserMobility, assign_mobility
+from repro.datagen.streaming import StreamingStationSource, iter_station_batches
 from repro.datagen.workload import (
     DatasetSpec,
     DistributedDataset,
@@ -48,6 +49,8 @@ __all__ = [
     "build_ground_truth_cohort",
     "UserMobility",
     "assign_mobility",
+    "StreamingStationSource",
+    "iter_station_batches",
     "DatasetSpec",
     "DistributedDataset",
     "QueryWorkload",

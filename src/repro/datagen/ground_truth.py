@@ -56,24 +56,38 @@ def build_ground_truth_cohort(
     """Build the labelled cohort for one of the four study days.
 
     Each day uses a different derived seed so day-to-day data differ (as real data
-    would) while remaining reproducible.  The cohort size is rounded to equal-sized
-    categories (with the paper's 310 persons this gives 52 per category, i.e. a
-    312-person cohort — the closest even split).
+    would) while remaining reproducible.  The requested ``cohort_size`` is realized
+    *exactly*: the base split ``cohort_size // categories`` goes to every category
+    and the remainder is handed out one extra user per category in catalog order
+    (with the paper's 310 persons over six categories: four categories of 52 and
+    two of 51).  The old behavior rounded to equal-sized categories, so the
+    realized cohort silently differed from the request (310 became 312).
     """
     require_non_negative(day_index, "day_index")
     require_positive(cohort_size, "cohort_size")
     categories = default_categories()
-    users_per_category = max(1, round(cohort_size / len(categories)))
+    base, remainder = divmod(cohort_size, len(categories))
+    counts = tuple(
+        base + (1 if index < remainder else 0) for index in range(len(categories))
+    )
     spec = DatasetSpec(
-        users_per_category=users_per_category,
+        users_per_category=max(1, base),
         station_count=station_count,
         days=1,
         intervals_per_day=intervals_per_day,
         noise_level=noise_level,
         seed=seed + day_index,
         categories=tuple(categories),
+        category_user_counts=counts,
     )
     dataset = build_dataset(spec)
+    realized = sum(
+        1 for user_id in dataset.user_ids if not dataset.profile(user_id).is_decoy
+    )
+    if realized != cohort_size:
+        raise AssertionError(
+            f"realized cohort ({realized}) != requested cohort_size ({cohort_size})"
+        )
     day_label = (
         PAPER_STUDY_DAYS[day_index]
         if day_index < len(PAPER_STUDY_DAYS)

@@ -66,6 +66,11 @@ class DatasetSpec:
     categories: tuple[CategoryProfile, ...] = field(
         default_factory=lambda: tuple(default_categories())
     )
+    #: Optional per-category regular-user counts, aligned with ``categories``.
+    #: When set it overrides the uniform ``users_per_category`` — the knob that
+    #: lets a cohort of a size not divisible by the category count be realized
+    #: *exactly* (remainder categories get one extra user) instead of rounded.
+    category_user_counts: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.users_per_category, "users_per_category")
@@ -77,6 +82,22 @@ class DatasetSpec:
         require_non_negative(self.clique_value_gap, "clique_value_gap")
         require_non_negative(self.replicated_decoys_per_category, "replicated_decoys_per_category")
         require_non_empty(self.categories, "categories")
+        if self.category_user_counts is not None:
+            if len(self.category_user_counts) != len(self.categories):
+                raise ValueError(
+                    f"category_user_counts must have one entry per category "
+                    f"({len(self.categories)}), got {len(self.category_user_counts)}"
+                )
+            for count in self.category_user_counts:
+                require_non_negative(count, "category_user_counts entry")
+            if sum(self.category_user_counts) <= 0:
+                raise ValueError("category_user_counts must name at least one user")
+
+    def regular_users_in(self, category_index: int) -> int:
+        """Number of regular (non-decoy) users built for one category."""
+        if self.category_user_counts is not None:
+            return int(self.category_user_counts[category_index])
+        return self.users_per_category
 
     @property
     def interval_count(self) -> int:
@@ -86,9 +107,10 @@ class DatasetSpec:
     @property
     def user_count(self) -> int:
         """Total number of synthetic users (regular users plus decoys)."""
-        return (self.users_per_category + self.replicated_decoys_per_category) * len(
-            self.categories
+        regular = sum(
+            self.regular_users_in(index) for index in range(len(self.categories))
         )
+        return regular + self.replicated_decoys_per_category * len(self.categories)
 
 
 class DistributedDataset:
@@ -287,8 +309,8 @@ def build_dataset(spec: DatasetSpec) -> DistributedDataset:
     local: dict[str, dict[str, LocalPattern]] = {station: {} for station in station_ids}
     interval_count = spec.interval_count
 
-    for category in spec.categories:
-        for user_index in range(spec.users_per_category):
+    for category_index, category in enumerate(spec.categories):
+        for user_index in range(spec.regular_users_in(category_index)):
             user_id = f"{category.name}-{user_index:04d}"
             user_rng = make_rng(spec.seed, "user", user_id)
             mobility = assign_mobility(

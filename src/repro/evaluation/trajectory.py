@@ -111,6 +111,33 @@ def headline_metrics(document: dict) -> list[HeadlineMetric]:
         metrics.append(
             HeadlineMetric("latency.p90", float(cumulative["latency_s"]["p90"]), _LOWER)
         )
+    if "max_sustainable_qps" in payload:  # open-loop saturation sweep
+        sustainable = payload["max_sustainable_qps"]
+        if isinstance(sustainable, dict):
+            # Per-executor entries; the sweep itself asserts they are equal
+            # (virtual capacity is executor-invariant), the gate tracks each.
+            for executor in sorted(sustainable):
+                metrics.append(
+                    HeadlineMetric(
+                        f"max_sustainable_qps.{executor}",
+                        float(sustainable[executor]),
+                        _HIGHER,
+                    )
+                )
+        else:
+            metrics.append(
+                HeadlineMetric("max_sustainable_qps", float(sustainable), _HIGHER)
+            )
+        if "below_saturation_p99_s" in payload:
+            # The flat part of the latency curve: p99 while offered load is
+            # under capacity.  Growth here means service itself got slower.
+            metrics.append(
+                HeadlineMetric(
+                    "below_saturation_p99_s",
+                    float(payload["below_saturation_p99_s"]),
+                    _LOWER,
+                )
+            )
     if "round" in payload and "station_count" in payload:  # 100x-scale round
         round_metrics = payload["round"]
         for key, direction in (

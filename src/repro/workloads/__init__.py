@@ -10,6 +10,7 @@ named catalog lives in :data:`SCENARIOS`.
 
 from repro.workloads.engine import run_workload
 from repro.workloads.result import (
+    PhaseWindow,
     RoundMetrics,
     StatSummary,
     StreamingStat,
@@ -22,12 +23,22 @@ from repro.workloads.scenarios import (
     register_scenario,
     scenario_names,
 )
-from repro.workloads.spec import ArrivalProcess, ChurnProcess, QueryMix, WorkloadSpec
+from repro.workloads.spec import (
+    ArrivalProcess,
+    ChurnProcess,
+    OfferedLoad,
+    QueryMix,
+    RampPhase,
+    WorkloadSpec,
+)
 
 __all__ = [
     "ArrivalProcess",
     "ChurnProcess",
+    "OfferedLoad",
+    "PhaseWindow",
     "QueryMix",
+    "RampPhase",
     "RoundMetrics",
     "SCENARIOS",
     "StatSummary",

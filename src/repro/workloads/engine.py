@@ -17,6 +17,15 @@ feeds it churn, query rotations and per-round seeds.  Two drive modes
   stations are published/retired incrementally, and only the dirty stations'
   deltas ship through the seeded transport.  This is the steady-state serving
   model, where per-round traffic is the *delta*, not the whole round.
+* ``open`` — the open-system mode: instead of a closed loop where each round
+  fully drains before the next starts, query batches are *admitted* by
+  arrival time on a virtual clock, drawn from the spec's
+  :class:`~repro.workloads.spec.OfferedLoad` (target QPS × ramp-phase
+  multipliers, Poisson or scheduled inter-arrival gaps).  Admissions feed a
+  single-server queue over the same ``mode="rounds"`` session: when service
+  time (the round's virtual transmission time) exceeds the inter-arrival
+  gap, queueing delay accrues into ``latency_s`` — saturation degrades
+  latency gracefully instead of erroring.
 
 Determinism: every stochastic decision of a run — the synthetic city, each
 round's query sample, the churn draws and the transport's fault schedule —
@@ -43,7 +52,7 @@ from repro.evaluation.metrics import evaluate_retrieval
 from repro.timeseries.query import QueryPattern
 from repro.utils.rng import derive_seed, make_rng
 from repro.workloads.result import RoundMetrics, WorkloadAggregator, WorkloadResult
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import RampPhase, WorkloadSpec
 
 
 def _round_net_seed(spec: WorkloadSpec, round_index: int) -> int:
@@ -183,6 +192,11 @@ def run_workload(
         raise ValueError(
             f"drive must be one of {WORKLOAD_DRIVE_CHOICES}, got {drive!r}"
         )
+    if drive == "open" and spec.offered is None:
+        raise ValueError(
+            "the open drive needs an arrival model: set WorkloadSpec.offered "
+            "to an OfferedLoad (target QPS + ramp phases)"
+        )
     cluster_spec = ClusterSpec.from_workload(
         spec,
         executor=executor,
@@ -201,14 +215,16 @@ def run_workload(
         fault_profile=spec.fault_profile,
         # The session drive matches in-process and never constructs an
         # executor runner; recording the knob there would misstate the run.
-        executor=(executor or "serial") if drive == "simulation" else "serial",
+        executor=(executor or "serial") if drive != "session" else "serial",
     )
     with Cluster(cluster_spec, dataset=dataset) as cluster:
         session = cluster.open_session(
-            mode="rounds" if drive == "simulation" else "deltas"
+            mode="deltas" if drive == "session" else "rounds"
         )
         if drive == "simulation":
             _drive_rounds(spec, dataset, cluster, session, sampler, aggregator)
+        elif drive == "open":
+            _drive_open(spec, dataset, cluster, session, sampler, aggregator)
         else:
             _drive_deltas(spec, dataset, cluster, session, sampler, aggregator)
     return aggregator.finish()
@@ -262,6 +278,131 @@ def _drive_rounds(
                 compute_time_s=report.costs.computation_time_s,
             ),
             report.transcript,
+        )
+
+
+def _phase_arrivals(
+    spec: WorkloadSpec,
+    phase: RampPhase,
+    phase_start: float,
+    budget: int,
+) -> list[float]:
+    """Virtual arrival times falling inside ``phase``, at most ``budget`` many.
+
+    Every gap is a pure function of ``(spec.name, spec.seed, phase.label)``:
+    the per-phase RNG stream is derived once and consumed in order, so the
+    schedule is identical across runs, executors and bit backends.  A
+    ``scheduled`` process emits exact ``1/rate`` gaps; ``poisson`` draws
+    exponential gaps at the same mean.
+    """
+    offered = spec.offered
+    assert offered is not None
+    rate = offered.rate_during(phase)
+    if rate <= 0.0 or budget <= 0:
+        return []
+    phase_end = phase_start + float(phase.duration_s)
+    rng = make_rng(spec.seed, "workload-arrivals", spec.name, phase.label)
+    arrivals: list[float] = []
+    clock = phase_start
+    mean_gap = 1.0 / rate
+    while len(arrivals) < budget:
+        if offered.process == "poisson":
+            gap = float(rng.exponential(mean_gap))
+        else:
+            gap = mean_gap
+        clock += gap
+        if clock >= phase_end:
+            break
+        arrivals.append(clock)
+    return arrivals
+
+
+def _drive_open(
+    spec: WorkloadSpec,
+    dataset: DistributedDataset,
+    cluster: Cluster,
+    session: ClusterSession,
+    sampler: _QuerySampler,
+    aggregator: WorkloadAggregator,
+) -> None:
+    """Rate-driven admissions through a single-server virtual-clock queue.
+
+    Each admitted query batch runs one full wire round (the same
+    ``mode="rounds"`` step the simulation drive uses); its *service time* is
+    the round's virtual transmission time.  The queue is work-conserving
+    single-server: an arrival starts at ``max(arrival, busy_until)``, so once
+    service time exceeds the inter-arrival gap the excess accrues as
+    ``queue_delay_s`` and ``latency_s = queue_delay + service`` degrades
+    gracefully — the saturation signal this drive exists to measure.
+    ``spec.rounds`` is ignored; the arrival schedule (phase durations, rates
+    and ``max_arrivals``) decides how many rounds run.
+    """
+    offered = spec.offered
+    assert offered is not None
+    churn = _ChurnState(spec, cluster.station_ids)
+    queries: list[QueryPattern] = []
+    truth: frozenset[str] = frozenset()
+    busy_until = 0.0
+    arrival_index = 0
+    phase_start = 0.0
+    for phase in offered.ramp:
+        rate = offered.rate_during(phase)
+        aggregator.begin_phase(
+            phase.label, rate, float(phase.duration_s), start_s=phase_start
+        )
+        arrivals = _phase_arrivals(
+            spec, phase, phase_start, offered.max_arrivals - arrival_index
+        )
+        phase_start += float(phase.duration_s)
+        for arrival_s in arrivals:
+            joined, left = churn.step(arrival_index)
+            refreshed = spec.arrival.refreshes_at(arrival_index)
+            if refreshed:
+                queries = sampler.sample(
+                    arrival_index, spec.arrival.count_at(arrival_index)
+                )
+                truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+                session.subscribe(queries)
+            report = session.step(
+                RoundOptions(
+                    station_ids=churn.active,
+                    net_seed=_round_net_seed(spec, arrival_index),
+                    k=len(truth),
+                )
+            )
+            service_s = report.latency_s
+            start_s = max(arrival_s, busy_until)
+            queue_delay_s = start_s - arrival_s
+            busy_until = start_s + service_s
+            metrics = evaluate_retrieval(tuple(report.retrieved_user_ids), truth)
+            aggregator.add_round(
+                RoundMetrics(
+                    round_index=arrival_index,
+                    query_count=len(queries),
+                    active_station_count=len(churn.active),
+                    joined=joined,
+                    left=left,
+                    downlink_bytes=report.downlink_bytes,
+                    uplink_bytes=report.uplink_bytes,
+                    precision=metrics.precision,
+                    recall=metrics.recall,
+                    latency_s=queue_delay_s + service_s,
+                    goodput_fraction=report.goodput_fraction,
+                    retransmit_count=report.retransmit_count,
+                    lost_station_count=report.lost_station_count,
+                    batch_refreshed=refreshed,
+                    compute_time_s=report.costs.computation_time_s,
+                    phase=phase.label,
+                    arrival_s=arrival_s,
+                    queue_delay_s=queue_delay_s,
+                ),
+                report.transcript,
+            )
+            arrival_index += 1
+    if arrival_index == 0:
+        raise ValueError(
+            "the offered load admitted no arrivals: every ramp phase is "
+            "either zero-rate or shorter than one inter-arrival gap"
         )
 
 

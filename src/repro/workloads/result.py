@@ -44,25 +44,39 @@ class StreamingStat:
     near-linear on a sorted-prefix-plus-small-tail list, so a push/read
     alternation stays cheap and a long push burst costs one sort).  The old
     ``bisect.insort`` insertion was O(n) *per push* — quadratic over a long
-    workload.  count/total/min/max are O(1) running fields.
+    workload.  count/total/min/max are O(1) running fields; the total uses
+    Neumaier compensated summation, so the mean does not drift under
+    catastrophic cancellation over million-push streams the way a naive
+    running float sum does.
 
     Percentiles use the nearest-rank definition — exact, no interpolation —
     with the rank computed in pure integer arithmetic via
-    :class:`~fractions.Fraction`: ``ceil(n*q/100)`` on a float ``q`` can land
-    on the wrong side of an integer boundary at large counts, an exact
-    rational ceiling cannot.
+    :class:`~fractions.Fraction`.  A float ``q`` is read at its *decimal*
+    face value (``Fraction(str(q))``): ``percentile(99.9)`` means the exact
+    rational 999/1000, not the binary expansion of the float ``99.9`` (which
+    sits just above it and could push the ceiling rank one step too far at
+    large counts).  Pass a :class:`~fractions.Fraction` directly for
+    arbitrary exact quantiles.
     """
 
     def __init__(self) -> None:
         self._values: list[float] = []
         self._sorted_count = 0
         self._total = 0.0
+        self._compensation = 0.0
 
     def push(self, value: float) -> None:
         """Fold one round's value into the aggregate (amortized O(1))."""
         number = float(value)
         self._values.append(number)
-        self._total += number
+        # Neumaier's variant of Kahan summation: carry the rounding error of
+        # each addition in a separate compensation term.
+        updated = self._total + number
+        if abs(self._total) >= abs(number):
+            self._compensation += (self._total - updated) + number
+        else:
+            self._compensation += (number - updated) + self._total
+        self._total = updated
 
     def _ordered(self) -> list[float]:
         if self._sorted_count != len(self._values):
@@ -75,14 +89,31 @@ class StreamingStat:
         """Number of values pushed so far."""
         return len(self._values)
 
-    def percentile(self, q: "float | int") -> float:
-        """Nearest-rank percentile ``q`` (0 < q <= 100) of the pushed values."""
+    @property
+    def total(self) -> float:
+        """Compensated running sum of the pushed values."""
+        return self._total + self._compensation
+
+    def percentile(self, q: "float | int | Fraction") -> float:
+        """Nearest-rank percentile ``q`` (0 < q <= 100) of the pushed values.
+
+        ``q`` may be an int, a :class:`~fractions.Fraction`, or a float —
+        floats are interpreted at their decimal face value (see the class
+        docstring).
+        """
         if not self._values:
             raise ValueError("cannot take a percentile of an empty stream")
-        if not 0.0 < q <= 100.0:
+        if isinstance(q, bool) or not isinstance(q, (int, float, Fraction)):
+            raise TypeError(f"percentile must be an int, float or Fraction, got {q!r}")
+        if isinstance(q, float):
+            if q != q or q in (float("inf"), float("-inf")):
+                raise ValueError(f"percentile must be within (0, 100], got {q!r}")
+            quantile = Fraction(str(q))
+        else:
+            quantile = Fraction(q)
+        if not 0 < quantile <= 100:
             raise ValueError(f"percentile must be within (0, 100], got {q!r}")
         ordered = self._ordered()
-        quantile = Fraction(q)
         # ceil(count * q / 100) in exact integer arithmetic.
         numerator = len(ordered) * quantile.numerator
         denominator = 100 * quantile.denominator
@@ -94,10 +125,11 @@ class StreamingStat:
         if not self._values:
             raise ValueError("cannot summarize an empty stream")
         ordered = self._ordered()
+        total = self.total
         return StatSummary(
             count=len(ordered),
-            total=self._total,
-            mean=self._total / len(ordered),
+            total=total,
+            mean=total / len(ordered),
             minimum=ordered[0],
             maximum=ordered[-1],
             p50=self.percentile(50),
@@ -114,6 +146,13 @@ class RoundMetrics:
     under the seed contract); the wall-clock compute fields live in
     ``compute_time_s`` and are excluded from replay comparisons and from the
     perf-trajectory headline metrics.
+
+    The trailing three fields exist only under the open-system drive: the
+    ramp-phase label the arrival fell in, the virtual arrival time, and the
+    queueing delay accrued waiting behind earlier arrivals.  In that mode
+    ``latency_s`` is queueing delay *plus* service time, so saturation shows
+    up as graceful latency growth rather than an error.  Closed-loop drives
+    leave them at their defaults and the payload omits them entirely.
     """
 
     round_index: int
@@ -131,6 +170,9 @@ class RoundMetrics:
     lost_station_count: int
     batch_refreshed: bool
     compute_time_s: float = 0.0
+    phase: str = ""
+    arrival_s: float = 0.0
+    queue_delay_s: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -147,6 +189,46 @@ _STREAMED_QUANTITIES = {
     "recall": lambda metrics: metrics.recall,
 }
 
+#: RoundMetrics fields that only carry meaning under the open-system drive;
+#: stripped from closed-loop payload rows so those stay byte-identical to the
+#: committed benchmark baselines.
+_OPEN_LOOP_FIELDS = ("phase", "arrival_s", "queue_delay_s")
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """Frozen per-ramp-phase percentile window of an open-system run.
+
+    One window per :class:`~repro.workloads.spec.RampPhase` the run admitted
+    arrivals in, in schedule order.  ``offered_qps`` is the phase's target
+    arrival rate (base rate × multiplier); ``achieved_qps`` is what the
+    virtual clock actually completed within the phase's wall of admitted
+    arrivals — below saturation the two track each other, past it
+    ``achieved_qps`` plateaus while the latency window degrades.
+    """
+
+    label: str
+    arrival_count: int
+    offered_qps: float
+    duration_s: float
+    achieved_qps: float
+    latency: StatSummary | None
+    queue_delay: StatSummary | None
+
+    def to_payload(self) -> dict:
+        """JSON-ready shape embedded in the workload payload's ``phases``."""
+        return {
+            "label": self.label,
+            "arrival_count": self.arrival_count,
+            "offered_qps": self.offered_qps,
+            "duration_s": self.duration_s,
+            "achieved_qps": self.achieved_qps,
+            "latency": None if self.latency is None else asdict(self.latency),
+            "queue_delay": (
+                None if self.queue_delay is None else asdict(self.queue_delay)
+            ),
+        }
+
 
 @dataclass(frozen=True)
 class WorkloadResult:
@@ -161,6 +243,7 @@ class WorkloadResult:
     rounds: tuple[RoundMetrics, ...]
     cumulative: dict[str, StatSummary]
     transcripts: tuple[bytes, ...] = field(repr=False, default=())
+    phases: tuple[PhaseWindow, ...] = ()
 
     @property
     def round_count(self) -> int:
@@ -195,7 +278,9 @@ class WorkloadResult:
 
     def to_payload(self) -> dict:
         """The JSON-ready shape written as ``BENCH_workload_<scenario>.json``."""
-        return {
+        open_loop = bool(self.phases)
+        skip = ("compute_time_s",) if open_loop else ("compute_time_s",) + _OPEN_LOOP_FIELDS
+        payload = {
             "scenario": self.scenario,
             "seed": self.seed,
             "drive": self.drive,
@@ -210,13 +295,16 @@ class WorkloadResult:
                 "retransmits": sum(m.retransmit_count for m in self.rounds),
             },
             "rounds": [
-                {k: v for k, v in asdict(metrics).items() if k != "compute_time_s"}
+                {k: v for k, v in asdict(metrics).items() if k not in skip}
                 for metrics in self.rounds
             ],
             "cumulative": {
                 name: asdict(summary) for name, summary in self.cumulative.items()
             },
         }
+        if open_loop:
+            payload["phases"] = [window.to_payload() for window in self.phases]
+        return payload
 
 
 class WorkloadAggregator:
@@ -246,6 +334,36 @@ class WorkloadAggregator:
         self._rounds: list[RoundMetrics] = []
         self._transcripts: list[bytes] = []
         self._streams = {name: StreamingStat() for name in _STREAMED_QUANTITIES}
+        self._phases: list[dict] = []
+
+    def begin_phase(
+        self,
+        label: str,
+        offered_qps: float,
+        duration_s: float,
+        start_s: float = 0.0,
+    ) -> None:
+        """Open a per-phase percentile window (open-system drive only).
+
+        Rounds folded in afterwards accrue into this window's latency and
+        queue-delay streams until the next ``begin_phase``.  ``start_s`` is
+        the phase's virtual start time; together with each round's
+        ``arrival_s + latency_s`` completion it yields the window's achieved
+        throughput, which plateaus past saturation while offered keeps
+        climbing.
+        """
+        self._phases.append(
+            {
+                "label": label,
+                "offered_qps": float(offered_qps),
+                "duration_s": float(duration_s),
+                "start_s": float(start_s),
+                "last_completion_s": float(start_s),
+                "arrival_count": 0,
+                "latency": StreamingStat(),
+                "queue_delay": StreamingStat(),
+            }
+        )
 
     def add_round(
         self,
@@ -265,10 +383,41 @@ class WorkloadAggregator:
             self._transcripts.append(transcript_to_bytes(transcript))
         for name, extract in _STREAMED_QUANTITIES.items():
             self._streams[name].push(extract(metrics))
+        if self._phases:
+            window = self._phases[-1]
+            window["arrival_count"] += 1
+            window["latency"].push(metrics.latency_s)
+            window["queue_delay"].push(metrics.queue_delay_s)
+            window["last_completion_s"] = max(
+                window["last_completion_s"], metrics.arrival_s + metrics.latency_s
+            )
 
     def snapshot(self) -> dict[str, StatSummary]:
         """Cumulative statistics over the rounds folded in so far."""
         return {name: stream.summary() for name, stream in self._streams.items()}
+
+    def _frozen_phases(self) -> tuple[PhaseWindow, ...]:
+        windows: list[PhaseWindow] = []
+        for window in self._phases:
+            count = window["arrival_count"]
+            # A phase is judged over whichever is longer: its scheduled wall
+            # or the span its completions actually spilled into — that is
+            # what makes achieved_qps plateau past saturation.
+            span = max(
+                window["duration_s"], window["last_completion_s"] - window["start_s"]
+            )
+            windows.append(
+                PhaseWindow(
+                    label=window["label"],
+                    arrival_count=count,
+                    offered_qps=window["offered_qps"],
+                    duration_s=window["duration_s"],
+                    achieved_qps=count / span if span > 0 else 0.0,
+                    latency=window["latency"].summary() if count else None,
+                    queue_delay=window["queue_delay"].summary() if count else None,
+                )
+            )
+        return tuple(windows)
 
     def finish(self) -> WorkloadResult:
         """Freeze everything into a :class:`WorkloadResult`."""
@@ -284,4 +433,5 @@ class WorkloadAggregator:
             rounds=tuple(self._rounds),
             cumulative=self.snapshot(),
             transcripts=tuple(self._transcripts),
+            phases=self._frozen_phases(),
         )

@@ -12,7 +12,14 @@ here automatically enrolls it in all three.
 
 from __future__ import annotations
 
-from repro.workloads.spec import ArrivalProcess, ChurnProcess, QueryMix, WorkloadSpec
+from repro.workloads.spec import (
+    ArrivalProcess,
+    ChurnProcess,
+    OfferedLoad,
+    QueryMix,
+    RampPhase,
+    WorkloadSpec,
+)
 
 #: The registry, keyed by scenario name in presentation order.
 SCENARIOS: dict[str, WorkloadSpec] = {}
@@ -114,5 +121,66 @@ register_scenario(
         arrival=ArrivalProcess(kind="constant", base=4, refresh_every=6),
         churn=ChurnProcess(leave_probability=0.15, join_probability=0.6, min_active=2),
         seed=1207,
+    )
+)
+
+# -- open-system (rate-driven) scenarios ------------------------------------
+#
+# The catalog-scale cluster serves a full wire round in ~0.12 virtual seconds,
+# so its saturation point sits near 8 QPS.  The three scenarios below bracket
+# it: comfortably under, ramped across, and pinned above.  Under closed-loop
+# drives they fall back to their (modest) ``rounds`` schedule, so they still
+# participate in the replay suite and benchmark sweep like every other entry.
+
+register_scenario(
+    WorkloadSpec(
+        name="open-steady",
+        description="Open-system plateau at half the cluster's service capacity: queueing delay stays near zero and p99 tracks the bare service time.",
+        rounds=6,
+        arrival=ArrivalProcess(kind="constant", base=4),
+        offered=OfferedLoad(
+            rate_qps=4.0,
+            process="poisson",
+            ramp=(RampPhase("plateau", 12.0, 1.0),),
+            max_arrivals=64,
+        ),
+        seed=1208,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="open-ramp",
+        description="Warm-up, plateau, 2.5x spike past saturation, then a silent drain: the spike window accrues queueing delay, the drain lets the backlog clear.",
+        rounds=6,
+        arrival=ArrivalProcess(kind="constant", base=4),
+        offered=OfferedLoad(
+            rate_qps=4.0,
+            process="poisson",
+            ramp=(
+                RampPhase("warm-up", 4.0, 0.5),
+                RampPhase("plateau", 8.0, 1.0),
+                RampPhase("spike", 4.0, 2.5),
+                RampPhase("drain", 4.0, 0.0),
+            ),
+            max_arrivals=96,
+        ),
+        seed=1209,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="open-saturation",
+        description="Scheduled (jitter-free) arrivals at ~1.5x service capacity: every excess arrival queues behind the last, so latency climbs linearly — the graceful-saturation signature.",
+        rounds=6,
+        arrival=ArrivalProcess(kind="constant", base=4),
+        offered=OfferedLoad(
+            rate_qps=12.0,
+            process="scheduled",
+            ramp=(RampPhase("plateau", 6.0, 1.0),),
+            max_arrivals=80,
+        ),
+        seed=1210,
     )
 )

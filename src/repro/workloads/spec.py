@@ -29,10 +29,113 @@ from repro.utils.validation import require_non_negative, require_positive
 #: Query arrival shapes over the rounds of a workload.
 ARRIVAL_KINDS = ("constant", "flash", "diurnal")
 
+#: Inter-arrival draw processes of the open-system drive.
+INTERARRIVAL_KINDS = ("poisson", "scheduled")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigurationError(message)
+
+
+def _require_finite_positive(value: object, name: str) -> None:
+    _require(
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(float(value))
+        and float(value) > 0.0,
+        f"{name} must be a finite number > 0, got {value!r}",
+    )
+
+
+@dataclass(frozen=True)
+class RampPhase:
+    """One labelled segment of an open-system ramp schedule.
+
+    During the phase, arrivals are offered at
+    ``OfferedLoad.rate_qps × rate_multiplier`` for ``duration_s`` *virtual*
+    seconds.  A multiplier of 0 is a silence window (the drain tail of a
+    spike test); the virtual clock still advances through it.
+    """
+
+    label: str
+    duration_s: float
+    rate_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.label, str) and bool(self.label),
+            f"phase label must be a non-empty string, got {self.label!r}",
+        )
+        _require_finite_positive(self.duration_s, "duration_s")
+        _require(
+            isinstance(self.rate_multiplier, (int, float))
+            and not isinstance(self.rate_multiplier, bool)
+            and math.isfinite(float(self.rate_multiplier))
+            and float(self.rate_multiplier) >= 0.0,
+            f"rate_multiplier must be a finite number >= 0, got {self.rate_multiplier!r}",
+        )
+
+
+@dataclass(frozen=True)
+class OfferedLoad:
+    """The open-system (rate-driven) arrival model of a workload.
+
+    Instead of draining ``rounds`` closed-loop barriers, the open drive
+    *offers* query-batch admissions against the virtual clock at
+    ``rate_qps`` (scaled per :class:`RampPhase`):
+
+    * ``poisson`` — exponential inter-arrival gaps, the classic open-system
+      arrival process;
+    * ``scheduled`` — exact ``1/rate`` spacing, for deterministic rate
+      sweeps where only queueing (not arrival jitter) should move latency.
+
+    Every gap draw comes from a per-phase RNG derived from
+    ``(seed, "workload-arrivals", scenario, phase.label)``, so the arrival
+    schedule is a pure function of the workload identity — the same
+    determinism contract as every other process in the spec.
+    ``max_arrivals`` caps the whole run (a saturated schedule must not run
+    unbounded).
+    """
+
+    rate_qps: float
+    process: str = "poisson"
+    ramp: tuple[RampPhase, ...] = (RampPhase("plateau", 30.0, 1.0),)
+    max_arrivals: int = 512
+
+    def __post_init__(self) -> None:
+        _require_finite_positive(self.rate_qps, "rate_qps")
+        _require(
+            self.process in INTERARRIVAL_KINDS,
+            f"process must be one of {INTERARRIVAL_KINDS}, got {self.process!r}",
+        )
+        _require(
+            isinstance(self.ramp, tuple) and len(self.ramp) > 0,
+            f"ramp must be a non-empty tuple of RampPhase, got {self.ramp!r}",
+        )
+        for phase in self.ramp:
+            _require(
+                isinstance(phase, RampPhase),
+                f"ramp entries must be RampPhase instances, got {phase!r}",
+            )
+        labels = [phase.label for phase in self.ramp]
+        _require(
+            len(labels) == len(set(labels)),
+            f"ramp phase labels must be unique, got {labels!r}",
+        )
+        try:
+            require_positive(self.max_arrivals, "max_arrivals")
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(str(error)) from error
+
+    def rate_during(self, phase: RampPhase) -> float:
+        """Offered arrival rate (arrivals per virtual second) of one phase."""
+        return float(self.rate_qps) * float(phase.rate_multiplier)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Virtual length of the whole ramp schedule."""
+        return sum(float(phase.duration_s) for phase in self.ramp)
 
 
 @dataclass(frozen=True)
@@ -197,6 +300,9 @@ class WorkloadSpec:
     arrival: ArrivalProcess = field(default_factory=ArrivalProcess)
     churn: ChurnProcess = field(default_factory=ChurnProcess)
     mix: QueryMix = field(default_factory=QueryMix)
+    #: Open-system arrival model; required by (and only consulted in) the
+    #: ``open`` drive.  Closed-loop drives keep using ``rounds``/``arrival``.
+    offered: OfferedLoad | None = None
     # -- environment pairing ---------------------------------------------------
     method: str = "wbf"
     fault_profile: str = "none"
@@ -236,6 +342,10 @@ class WorkloadSpec:
             and self.churn.min_active <= self.station_count,
             f"churn.min_active ({self.churn.min_active}) cannot exceed "
             f"station_count ({self.station_count})",
+        )
+        _require(
+            self.offered is None or isinstance(self.offered, OfferedLoad),
+            f"offered must be an OfferedLoad or None, got {self.offered!r}",
         )
 
     def with_updates(self, **changes: object) -> "WorkloadSpec":

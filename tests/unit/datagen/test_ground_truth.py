@@ -19,12 +19,36 @@ class TestBuildGroundTruthCohort:
         cohort = build_ground_truth_cohort(10, cohort_size=60)
         assert "synthetic day" in cohort.day_label
 
-    def test_cohort_size_close_to_requested(self):
-        cohort = build_ground_truth_cohort(0, cohort_size=PAPER_COHORT_SIZE)
-        regular_users = [
-            u for u in cohort.dataset.user_ids if not cohort.dataset.profile(u).is_decoy
-        ]
-        assert abs(len(regular_users) - PAPER_COHORT_SIZE) <= 6
+    def test_cohort_size_is_exactly_the_requested_one(self):
+        # The old rounding (`max(1, round(size / categories))` per category)
+        # silently drifted by up to half a category; the remainder is now
+        # distributed deterministically, so the realized cohort is exact.
+        for cohort_size in (PAPER_COHORT_SIZE, 310, 61, 6, 7, 11):
+            cohort = build_ground_truth_cohort(0, cohort_size=cohort_size)
+            regular_users = [
+                u
+                for u in cohort.dataset.user_ids
+                if not cohort.dataset.profile(u).is_decoy
+            ]
+            assert len(regular_users) == cohort_size
+
+    def test_remainder_spreads_across_the_leading_categories(self):
+        # 310 over 6 categories: 4 categories of 52 users, 2 of 51 — never
+        # six rounded-up (or down) copies of the same count.
+        cohort = build_ground_truth_cohort(0, cohort_size=310)
+        categories = set(cohort.labels.values())
+        sizes = sorted(
+            (
+                sum(
+                    1
+                    for user_id in cohort.members_of(category)
+                    if not cohort.dataset.profile(user_id).is_decoy
+                )
+                for category in categories
+            ),
+            reverse=True,
+        )
+        assert sizes == [52, 52, 52, 52, 51, 51]
 
     def test_six_categories_present(self):
         cohort = build_ground_truth_cohort(0, cohort_size=60)

@@ -32,6 +32,45 @@ class TestDatasetSpec:
         with pytest.raises(ValueError):
             DatasetSpec(cliques_per_place=0)
 
+    def test_category_user_counts_overrides_the_uniform_split(self):
+        spec = DatasetSpec(users_per_category=5)
+        counts = tuple(
+            3 + (1 if index < 2 else 0) for index in range(len(spec.categories))
+        )
+        spec = DatasetSpec(users_per_category=5, category_user_counts=counts)
+        assert [
+            spec.regular_users_in(index) for index in range(len(spec.categories))
+        ] == list(counts)
+        assert spec.user_count == sum(counts) + 2 * len(spec.categories)
+
+    def test_category_user_counts_validation(self):
+        category_count = len(DatasetSpec().categories)
+        with pytest.raises(ValueError, match="one entry per category"):
+            DatasetSpec(category_user_counts=(1,))
+        with pytest.raises(ValueError):
+            DatasetSpec(category_user_counts=(-1,) * category_count)
+        with pytest.raises(ValueError, match="at least one user"):
+            DatasetSpec(category_user_counts=(0,) * category_count)
+
+    def test_uneven_category_counts_build_exactly(self):
+        category_count = len(DatasetSpec().categories)
+        counts = tuple(
+            2 + (1 if index < 1 else 0) for index in range(category_count)
+        )
+        spec = DatasetSpec(
+            users_per_category=2,
+            station_count=4,
+            category_user_counts=counts,
+            replicated_decoys_per_category=0,
+        )
+        dataset = build_dataset(spec)
+        assert len(dataset.user_ids) == sum(counts)
+        per_category = [
+            len(dataset.users_in_category(category.name))
+            for category in spec.categories
+        ]
+        assert per_category == list(counts)
+
 
 class TestBuildDataset:
     def test_dataset_shape(self, small_dataset, small_spec):

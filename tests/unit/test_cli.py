@@ -204,6 +204,78 @@ class TestWorkloadCommand:
         with pytest.raises(SystemExit):
             main(["workload", "run", "steady-state", "--fault-profile", "catastrophic"])
 
+    def test_arrival_rate_implies_the_open_drive(self, capsys):
+        exit_code = main(
+            ["workload", "run", "steady-state", *self.TINY,
+             "--arrival-rate", "4", "--max-arrivals", "6",
+             "--ramp", "plateau:2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "drive open" in captured
+        assert "offered 4 qps" in captured
+        assert "queue s" in captured
+        assert "arrival s" in captured
+        assert "phase plateau:" in captured
+
+    def test_open_scenario_carries_its_own_offered_load(self, capsys):
+        exit_code = main(
+            ["workload", "run", "open-ramp", *self.TINY, "--drive", "open",
+             "--max-arrivals", "8"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        # The scenario's four-phase ramp shows up in the per-phase summary.
+        assert "offered 4 qps" in captured
+        assert "phase warm-up:" in captured
+        assert "phase drain:" in captured
+        assert "no arrivals" in captured
+
+    def test_ramp_flag_overrides_the_schedule(self, capsys):
+        exit_code = main(
+            ["workload", "run", "open-steady", *self.TINY, "--drive", "open",
+             "--ramp", "burst:1:2,quiet:1:0", "--arrival-process", "scheduled",
+             "--max-arrivals", "4"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scheduled, 2 phases" in captured
+        assert "phase burst:" in captured
+        assert "phase quiet:" in captured
+
+    def test_open_runs_are_deterministic(self, capsys):
+        argv = [
+            "workload", "run", "open-saturation", *self.TINY,
+            "--drive", "open", "--max-arrivals", "6",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_rejects_open_flags_on_closed_drives(self):
+        with pytest.raises(SystemExit, match="apply only to --drive open"):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--drive", "simulation", "--arrival-rate", "4"]
+            )
+
+    def test_rejects_open_drive_without_an_offered_load(self):
+        with pytest.raises(SystemExit, match="offered load"):
+            main(["workload", "run", "steady-state", *self.TINY, "--drive", "open"])
+
+    def test_rejects_malformed_ramp_phases(self):
+        for ramp in ("", "plateau", "plateau:zero", "p:1:1:1", "a:1,a:2"):
+            with pytest.raises(SystemExit):
+                main(
+                    ["workload", "run", "open-steady", "--drive", "open",
+                     "--ramp", ramp]
+                )
+
+    def test_rejects_non_positive_arrival_rate(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "run", "open-steady", "--arrival-rate", "0"])
+
     def test_rejects_executor_knobs_on_the_session_drive(self):
         # The session drive matches in-process; silently ignoring the knob
         # would misrepresent what was measured.

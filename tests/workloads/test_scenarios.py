@@ -18,6 +18,9 @@ EXPECTED_SCENARIOS = {
     "skewed-hotset",
     "degraded-network",
     "long-session",
+    "open-steady",
+    "open-ramp",
+    "open-saturation",
 }
 
 
@@ -55,3 +58,20 @@ def test_scenario_shapes_match_their_stories():
     assert SCENARIOS["degraded-network"].fault_profile != "none"
     assert SCENARIOS["degraded-network"].allow_partial
     assert SCENARIOS["long-session"].arrival.refresh_every > 1
+    # The open-system trio brackets the catalog-scale saturation point.
+    steady, ramp, saturation = (
+        SCENARIOS["open-steady"],
+        SCENARIOS["open-ramp"],
+        SCENARIOS["open-saturation"],
+    )
+    for spec in (steady, ramp, saturation):
+        assert spec.offered is not None
+    assert steady.offered.rate_qps < saturation.offered.rate_qps
+    assert saturation.offered.process == "scheduled"
+    assert [phase.label for phase in ramp.offered.ramp] == [
+        "warm-up", "plateau", "spike", "drain",
+    ]
+    assert ramp.offered.ramp[-1].rate_multiplier == 0.0  # the drain is silent
+    # Every closed-loop scenario stays closed-loop: no stray offered loads.
+    for name, spec in SCENARIOS.items():
+        assert (spec.offered is not None) == name.startswith("open-")
