@@ -53,8 +53,13 @@ try:
     # to its pure-Python implementation, see repro.bloom.backend).
     from repro.datagen import (
         DatasetSpec,
+        DatasetStationSource,
         DistributedDataset,
         QueryWorkload,
+        SourceSpec,
+        StationSource,
+        StationSourceBase,
+        StreamingStationSource,
         build_dataset,
         build_ground_truth_cohort,
         build_query_workload,
@@ -137,8 +142,13 @@ if HAS_DATAGEN:
         "RoundReport",
         "TransportSpec",
         "DatasetSpec",
+        "DatasetStationSource",
         "DistributedDataset",
         "QueryWorkload",
+        "SourceSpec",
+        "StationSource",
+        "StationSourceBase",
+        "StreamingStationSource",
         "build_dataset",
         "build_ground_truth_cohort",
         "build_query_workload",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from dataclasses import replace
 from typing import Sequence
 
@@ -195,7 +196,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--users-per-category", type=_positive_int, default=None,
-        help="Override the synthetic population density.",
+        help="Override the synthetic population density (on streaming-source "
+        "scenarios this is a deprecated alias for --users-per-station).",
+    )
+    run.add_argument(
+        "--users-per-station", type=_positive_int, default=None,
+        help="Streaming-source scenarios: users derived per station batch "
+        "(the declared population is stations x this).",
+    )
+    run.add_argument(
+        "--max-resident", type=_positive_int, default=None,
+        help="Streaming-source scenarios: LRU cap on resident station batches "
+        "(the memory bound of the soak).",
     )
     run.add_argument(
         "--seed", type=int, default=None,
@@ -392,11 +404,15 @@ def _run_workload_list(_args: argparse.Namespace) -> str:
             if spec.churn.is_static
             else f"leave {spec.churn.leave_probability:g} / join {spec.churn.join_probability:g}"
         )
+        stations = spec.effective_station_count
+        if spec.source is not None and spec.source.kind == "streaming":
+            # Streaming sources declare the city without materializing it.
+            stations = f"{stations} (streaming)"
         rows.append(
             [
                 name,
                 spec.rounds,
-                spec.station_count,
+                stations,
                 spec.arrival.kind,
                 churn,
                 f"{spec.mix.zipf_s:g}",
@@ -466,13 +482,63 @@ def _run_workload_run(args: argparse.Namespace) -> str:
                 raise SystemExit(f"workload run: {error}")
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
+    source = spec.source
+    streaming = source is not None and source.kind == "streaming"
+    if not streaming and (
+        args.users_per_station is not None or args.max_resident is not None
+    ):
+        raise SystemExit(
+            "workload run: --users-per-station/--max-resident apply only to "
+            "streaming-source scenarios (this scenario materializes an eager "
+            "dataset; use --users-per-category)"
+        )
+    source_updates: dict[str, object] = {}
     if args.stations is not None:
-        overrides["station_count"] = args.stations
+        if source is not None:
+            # The cohort shape lives in the SourceSpec; scaling the city
+            # clamps the per-round touch window with it.
+            source_updates["station_count"] = args.stations
+            if (
+                source.stations_per_round is not None
+                and source.stations_per_round > args.stations
+            ):
+                source_updates["stations_per_round"] = args.stations
+        else:
+            overrides["station_count"] = args.stations
         # Scaling a churny scenario below its floor clamps the floor with it.
         if spec.churn.min_active > args.stations:
             overrides["churn"] = replace(spec.churn, min_active=args.stations)
+    users_per_station = args.users_per_station
     if args.users_per_category is not None:
-        overrides["users_per_category"] = args.users_per_category
+        if streaming:
+            warnings.warn(
+                "workload run: --users-per-category on a streaming-source "
+                "scenario is a deprecated alias for --users-per-station",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if (
+                users_per_station is not None
+                and users_per_station != args.users_per_category
+            ):
+                raise SystemExit(
+                    "workload run: the population density is spelled twice "
+                    f"and disagrees: --users-per-category "
+                    f"{args.users_per_category} vs --users-per-station "
+                    f"{users_per_station}"
+                )
+            users_per_station = args.users_per_category
+        else:
+            overrides["users_per_category"] = args.users_per_category
+    if users_per_station is not None:
+        source_updates["users_per_station"] = users_per_station
+    if args.max_resident is not None:
+        source_updates["max_resident"] = args.max_resident
+    if source_updates:
+        try:
+            overrides["source"] = source.with_updates(**source_updates)
+        except ConfigurationError as error:
+            raise SystemExit(f"workload run: {error}")
     if args.seed is not None:
         overrides["seed"] = args.seed
     if args.fault_profile is not None:

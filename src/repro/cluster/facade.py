@@ -44,6 +44,7 @@ from repro.cluster.spec import ClusterSpec, TransportSpec
 from repro.core.exceptions import ConfigurationError
 from repro.core.protocol import MatchingProtocol
 from repro.core.streaming import ContinuousMatchingSession
+from repro.datagen.source import DatasetStationSource, StationSource
 from repro.datagen.workload import build_dataset
 from repro.distributed.basestation import BaseStationNode
 from repro.distributed.datacenter import DataCenterNode
@@ -77,11 +78,19 @@ class Cluster:
     """One deployed distributed matching system behind a typed facade.
 
     Build one from a validated :class:`~repro.cluster.spec.ClusterSpec`
-    (``spec.dataset`` describes the synthetic city to build), or adopt an
-    existing :class:`~repro.datagen.workload.DistributedDataset` by passing
-    ``dataset=`` — the spec's remaining sub-specs still govern protocol,
-    transport, executor and faults.  The cluster is a context manager;
-    leaving the ``with`` block shuts down any executor worker pools.
+    (``spec.dataset`` describes a synthetic city to build eagerly,
+    ``spec.source`` a :class:`~repro.datagen.source.SourceSpec` city), or
+    adopt an existing :class:`~repro.datagen.workload.DistributedDataset`
+    (``dataset=``) or a live :class:`~repro.datagen.source.StationSource`
+    (``source=``) — the spec's remaining sub-specs still govern protocol,
+    transport, executor and faults.  A source with a resident cap
+    (``resident_cap`` not ``None``, e.g.
+    :class:`~repro.datagen.streaming.StreamingStationSource`) is served
+    *lazily*: station batches are pulled on demand as rounds touch them and
+    released back to the source's LRU afterwards, so the resident set stays
+    bounded no matter how many users the source declares.  The cluster is a
+    context manager; leaving the ``with`` block shuts down any executor
+    worker pools.
     """
 
     def __init__(
@@ -89,22 +98,34 @@ class Cluster:
         spec: ClusterSpec,
         *,
         dataset: "DistributedDataset | None" = None,
+        source: StationSource | None = None,
     ) -> None:
         if not isinstance(spec, ClusterSpec):
             raise ConfigurationError(
                 f"spec must be a ClusterSpec, got {type(spec).__name__}"
             )
-        if dataset is None:
-            if spec.dataset is None:
+        if dataset is not None and source is not None:
+            raise ConfigurationError(
+                "pass at most one of dataset= and source=; they both declare "
+                "the deployment's data"
+            )
+        if source is None:
+            if dataset is not None:
+                source = DatasetStationSource(dataset)
+            elif spec.source is not None:
+                source = spec.source.build()
+            elif spec.dataset is not None:
+                source = DatasetStationSource(build_dataset(spec.dataset))
+            else:
                 raise ConfigurationError(
-                    "spec.dataset is None and no pre-built dataset was passed; "
-                    "one of the two must describe the deployment's data"
+                    "the spec declares no city (dataset and source are both "
+                    "None) and none was passed; one of them must describe "
+                    "the deployment's data"
                 )
-            dataset = build_dataset(spec.dataset)
         self._spec: ClusterSpec | None = spec
         self._protocol: MatchingProtocol | None = spec.protocol.build()
         self._setup(
-            dataset,
+            source,
             transport_spec=spec.transport,
             executor=spec.executor.kind,
             shard_count=spec.executor.shard_count,
@@ -117,7 +138,7 @@ class Cluster:
     @classmethod
     def adopt(
         cls,
-        dataset: "DistributedDataset",
+        dataset: "DistributedDataset | None" = None,
         network_config: NetworkConfig | None = None,
         executor: str | None = None,
         shard_count: int | None = None,
@@ -125,20 +146,29 @@ class Cluster:
         fault_plan: FaultPlan | str | None = None,
         net_seed: int | None = None,
         allow_partial: bool = False,
+        *,
+        source: StationSource | None = None,
     ) -> "Cluster":
-        """Wrap a pre-built dataset with the legacy maybe-``None`` knob semantics.
+        """Wrap a pre-built dataset (or station source) with legacy knob semantics.
 
         This is the compatibility spine the deprecated shims and the
         method-comparison harness stand on: every ``None`` defers to the
         driven protocol's own configuration, exactly like the old
-        ``DistributedSimulation`` constructor.  No protocol is bound, so only
-        :meth:`drive` is available (the typed verbs need a spec).
+        ``DistributedSimulation`` constructor.  ``Cluster.adopt(source=...)``
+        adopts a live :class:`~repro.datagen.source.StationSource` instead —
+        a capped source is served lazily, batch by batch, exactly as under a
+        spec-built cluster.  No protocol is bound, so only :meth:`drive` is
+        available (the typed verbs need a spec).
         """
+        if (dataset is None) == (source is None):
+            raise ConfigurationError(
+                "adopt() needs exactly one of dataset= or source="
+            )
         cluster = object.__new__(cls)
         cluster._spec = None
         cluster._protocol = None
         cluster._setup(
-            dataset,
+            source if source is not None else DatasetStationSource(dataset),
             transport_spec=TransportSpec.from_network_config(network_config),
             executor=executor,
             shard_count=shard_count,
@@ -151,7 +181,7 @@ class Cluster:
 
     def _setup(
         self,
-        dataset: "DistributedDataset",
+        source: StationSource,
         *,
         transport_spec: TransportSpec,
         executor: str | None,
@@ -161,7 +191,21 @@ class Cluster:
         net_seed: int | None,
         allow_partial: bool,
     ) -> None:
-        self._dataset = dataset
+        if not isinstance(source, StationSource):
+            raise ConfigurationError(
+                f"source must implement StationSource, got {type(source).__name__}"
+            )
+        self._source = source
+        #: A capped source is served lazily: nodes materialize per round and
+        #: are released afterwards, keeping residency at the source's LRU.
+        self._lazy = source.resident_cap is not None
+        self._station_order: tuple[str, ...] = tuple(source.station_ids)
+        self._station_set = frozenset(self._station_order)
+        #: Lazy mode: stations withdrawn via retire() and stations whose
+        #: batches were explicitly published (pinned across rounds).
+        self._withdrawn: set[str] = set()
+        self._pinned: set[str] = set()
+        self._last_participant_count = 0
         self._transport_spec = transport_spec
         self._network_config = transport_spec.network_config()
         self._tcp_manager: "TcpTransportManager | None" = None
@@ -174,10 +218,11 @@ class Cluster:
         self._runners: dict[tuple[str, int], ShardedStationRunner] = {}
         self._center = DataCenterNode()
         self._patterns: dict[str, PatternSet] = {}
-        for station_id in dataset.station_ids:
-            patterns = dataset.local_patterns_at(station_id)
-            if len(patterns) > 0:
-                self._patterns[station_id] = patterns
+        if not self._lazy:
+            for station_id in self._station_order:
+                patterns = source.local_patterns_at(station_id)
+                if len(patterns) > 0:
+                    self._patterns[station_id] = patterns
         self._nodes: dict[str, BaseStationNode] = {
             station_id: BaseStationNode(station_id, patterns)
             for station_id, patterns in self._patterns.items()
@@ -201,18 +246,47 @@ class Cluster:
         return self._spec.name if self._spec is not None else "adopted"
 
     @property
+    def source(self) -> StationSource:
+        """The station source the cluster serves (always present)."""
+        return self._source
+
+    @property
     def dataset(self) -> "DistributedDataset":
-        """The dataset the cluster serves."""
-        return self._dataset
+        """The eager dataset the cluster serves.
+
+        Only materialized-dataset clusters have one; a lazily served
+        (capped-source) cluster never holds the whole city, so asking for it
+        is a :class:`ClusterStateError` — use :attr:`source` instead.
+        """
+        dataset = getattr(self._source, "dataset", None)
+        if dataset is None:
+            raise ClusterStateError(
+                "this cluster is backed by a streaming StationSource and "
+                "never materializes the whole dataset; use .source"
+            )
+        return dataset
 
     @property
     def stations(self) -> list[BaseStationNode]:
-        """The base-station nodes that store at least one pattern."""
+        """The currently materialized base-station nodes.
+
+        Eager clusters: every pattern-bearing station.  Lazy clusters: only
+        the pinned (explicitly published) stations between rounds.
+        """
         return list(self._nodes.values())
 
     @property
     def station_ids(self) -> tuple[str, ...]:
-        """Ids of the pattern-bearing stations, in dataset order."""
+        """Ids of the servable stations, in dataset (source) order.
+
+        Eager clusters list the pattern-bearing stations; lazy clusters list
+        every declared station that has not been withdrawn (their batches
+        materialize on demand).
+        """
+        if self._lazy:
+            return tuple(
+                sid for sid in self._station_order if sid not in self._withdrawn
+            )
         return tuple(self._nodes)
 
     @property
@@ -258,7 +332,7 @@ class Cluster:
                 f"patterns must be a PatternSet, got {type(patterns).__name__}"
             )
         key = str(station_id)
-        if key not in self._dataset.station_ids:
+        if key not in self._station_set:
             raise ValueError(
                 f"unknown station id {key!r}; expected one of the dataset's stations"
             )
@@ -273,11 +347,16 @@ class Cluster:
         # PatternSet identity).
         updated = dict(self._patterns, **{key: patterns})
         self._patterns = {
-            sid: updated[sid] for sid in self._dataset.station_ids if sid in updated
+            sid: updated[sid] for sid in self._station_order if sid in updated
         }
         nodes = dict(self._nodes)
         nodes[key] = BaseStationNode(key, patterns)
         self._nodes = {sid: nodes[sid] for sid in self._patterns}
+        if self._lazy:
+            # An explicit publish overrides the source: pin the batch so
+            # per-round release keeps it, and un-withdraw the station.
+            self._pinned.add(key)
+            self._withdrawn.discard(key)
         return len(patterns)
 
     def retire(self, station_id: str) -> None:
@@ -285,6 +364,13 @@ class Cluster:
         key = str(station_id)
         self._patterns.pop(key, None)
         self._nodes.pop(key, None)
+        if self._lazy:
+            # Mark withdrawn so the lazy path stops re-materializing the
+            # station from the source, and drop its cached batch.
+            self._pinned.discard(key)
+            if key in self._station_set:
+                self._withdrawn.add(key)
+                self._source.retire(key)
         if self._session is not None:
             self._session._on_retire(key)
 
@@ -381,17 +467,59 @@ class Cluster:
         a report, exactly like a cell that joined the network after the round
         or left before it.  Ids must name dataset stations; ids of stations
         that store no patterns are tolerated (they never participate anyway).
+
+        Lazy (capped-source) clusters materialize the wanted stations' nodes
+        here, on demand, in source order — this is where a round *publishes*
+        the batches it is about to touch.
         """
         if station_ids is None:
-            return list(self._nodes.values())
-        wanted = {str(station_id) for station_id in station_ids}
-        unknown = wanted - set(self._dataset.station_ids)
-        if unknown:
-            raise ValueError(
-                f"unknown station ids {sorted(unknown)!r}; "
-                f"expected a subset of the dataset's stations"
-            )
-        return [node for sid, node in self._nodes.items() if sid in wanted]
+            if not self._lazy:
+                return list(self._nodes.values())
+            wanted = None
+        else:
+            wanted = {str(station_id) for station_id in station_ids}
+            unknown = wanted - self._station_set
+            if unknown:
+                raise ValueError(
+                    f"unknown station ids {sorted(unknown)!r}; "
+                    f"expected a subset of the dataset's stations"
+                )
+            if not self._lazy:
+                return [node for sid, node in self._nodes.items() if sid in wanted]
+        nodes: list[BaseStationNode] = []
+        for sid in self._station_order:
+            if sid in self._withdrawn or (wanted is not None and sid not in wanted):
+                continue
+            node = self._activate(sid)
+            if node is not None:
+                nodes.append(node)
+        return nodes
+
+    def _activate(self, station_id: str) -> BaseStationNode | None:
+        """Materialize one station's node from the source (lazy mode only)."""
+        node = self._nodes.get(station_id)
+        if node is not None:
+            return node
+        patterns = self._source.local_patterns_at(station_id)
+        if len(patterns) == 0:
+            return None
+        self._patterns[station_id] = patterns
+        node = BaseStationNode(station_id, patterns)
+        self._nodes[station_id] = node
+        return node
+
+    def _release_transient(self) -> None:
+        """Drop the nodes a lazy round materialized, keeping pinned stations.
+
+        The raw batches stay cached in the source's LRU (bounded at its
+        resident cap); only the facade-side node/pattern handles are
+        released, so between rounds residency is the source's business.
+        """
+        if not self._lazy:
+            return
+        for sid in [sid for sid in self._nodes if sid not in self._pinned]:
+            self._nodes.pop(sid, None)
+            self._patterns.pop(sid, None)
 
     def drive(
         self,
@@ -416,6 +544,7 @@ class Cluster:
             k = options.k
         fallbacks_before = estimated_size_fallbacks()
         participants = self._participants(options.station_ids)
+        self._last_participant_count = len(participants)
         network = self._network_for(protocol, options.net_seed)
         self._center.clear_inbox()
         for station in self._nodes.values():
@@ -525,12 +654,16 @@ class Cluster:
                 else {}
             ),
         )
-        return SimulationOutcome(
+        outcome = SimulationOutcome(
             method=protocol.name,
             results=results,
             costs=costs,
             transcript=network.transcript,
         )
+        # A lazy round is generate → encode → match → release: transient
+        # nodes go back to the source's LRU before the next round's touch set.
+        self._release_transient()
+        return outcome
 
     # -- facade rounds ---------------------------------------------------------
 
@@ -559,7 +692,9 @@ class Cluster:
             mode="round",
             results=outcome.results,
             query_count=len(self._queries),
-            active_station_count=len(self._participants(merged.station_ids)),
+            # Captured by drive(): recomputing here would re-materialize a
+            # lazy round's released stations just to count them.
+            active_station_count=self._last_participant_count,
             downlink_bytes=costs.downlink_bytes,
             uplink_bytes=costs.uplink_bytes,
             latency_s=costs.transmission_time_s,
@@ -621,19 +756,29 @@ class Cluster:
         """Freeze the cluster's restorable state.
 
         The snapshot captures the subscription, every station's published
-        patterns, the round counter and the recorded transcripts.  An open
-        delta session holds incremental matching state the snapshot cannot
-        represent, so snapshotting is refused while one is open.
+        patterns, the round counter and the recorded transcripts.  For a lazy
+        (capped-source) cluster only the *pinned* (explicitly published)
+        stations' patterns are captured, plus the withdrawn set — transient
+        batches are a pure function of the source and re-derive on demand, so
+        the snapshot stays small no matter how large the declared city is.
+        An open delta session holds incremental matching state the snapshot
+        cannot represent, so snapshotting is refused while one is open.
         """
         if self._session is not None and self._session.mode == "deltas":
             raise ClusterStateError(
                 "cannot snapshot while a delta session is open; close it first"
             )
+        patterns = tuple(
+            (sid, pattern_set)
+            for sid, pattern_set in self._patterns.items()
+            if not self._lazy or sid in self._pinned
+        )
         return ClusterSnapshot(
             queries=self._queries,
-            patterns=tuple(self._patterns.items()),
+            patterns=patterns,
             round_index=self._round_index,
             transcripts=tuple(self._transcripts),
+            withdrawn=tuple(sorted(self._withdrawn)),
         )
 
     def restore(self, snapshot: ClusterSnapshot) -> None:
@@ -656,6 +801,11 @@ class Cluster:
             station_id: BaseStationNode(station_id, patterns)
             for station_id, patterns in self._patterns.items()
         }
+        if self._lazy:
+            self._pinned = set(self._patterns)
+            self._withdrawn = {
+                sid for sid in snapshot.withdrawn if sid in self._station_set
+            }
         self._round_index = snapshot.round_index
         self._transcripts = list(snapshot.transcripts)
 

@@ -86,10 +86,15 @@ class ClusterSnapshot:
     """
 
     queries: tuple[QueryPattern, ...]
-    #: ``(station_id, published patterns)`` in dataset station order.
+    #: ``(station_id, published patterns)`` in dataset station order.  For a
+    #: lazily served (source-backed) cluster only the explicitly *pinned*
+    #: stations appear — transient batches are re-derivable from the source.
     patterns: tuple[tuple[str, PatternSet], ...]
     round_index: int
     transcripts: tuple[bytes, ...] = field(repr=False, default=())
+    #: Source-backed clusters: stations withdrawn via ``retire`` (the source
+    #: still declares them, but rounds must not serve them after restore).
+    withdrawn: tuple[str, ...] = ()
 
     @property
     def station_count(self) -> int:

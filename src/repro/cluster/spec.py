@@ -28,6 +28,7 @@ from repro.core.config import (
     TRANSPORT_CHOICES,
 )
 from repro.core.exceptions import ConfigurationError
+from repro.datagen.source import SourceSpec
 from repro.datagen.workload import DatasetSpec
 from repro.distributed.network import NetworkConfig
 
@@ -248,9 +249,15 @@ class ClusterSpec:
     """One complete, validated cluster deployment."""
 
     name: str = "cluster"
-    #: Synthetic city to build; ``None`` means a pre-built dataset is adopted
-    #: at :class:`~repro.cluster.facade.Cluster` construction time.
+    #: Synthetic city to build; ``None`` means a pre-built dataset (or a
+    #: :class:`~repro.datagen.source.StationSource`) is adopted at
+    #: :class:`~repro.cluster.facade.Cluster` construction time, or that
+    #: ``source`` below declares the city instead.
     dataset: DatasetSpec | None = None
+    #: Declarative station source; mutually exclusive with ``dataset``.  A
+    #: ``kind="streaming"`` source makes the facade serve station batches
+    #: lazily under the source's resident cap instead of front-loading them.
+    source: SourceSpec | None = None
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     transport: TransportSpec = field(default_factory=TransportSpec)
     executor: ExecutorSpec = field(default_factory=ExecutorSpec)
@@ -264,6 +271,15 @@ class ClusterSpec:
         _require(
             self.dataset is None or isinstance(self.dataset, DatasetSpec),
             f"dataset must be a DatasetSpec or None, got {type(self.dataset).__name__}",
+        )
+        _require(
+            self.source is None or isinstance(self.source, SourceSpec),
+            f"source must be a SourceSpec or None, got {type(self.source).__name__}",
+        )
+        _require(
+            self.dataset is None or self.source is None,
+            "dataset and source are mutually exclusive — a deployment has "
+            "exactly one city declaration",
         )
         for attribute, expected in (
             ("protocol", ProtocolSpec),
@@ -297,18 +313,31 @@ class ClusterSpec:
         The dataset seed is derived from the workload identity exactly like the
         pre-facade engine (``derive_seed(seed, "workload-dataset", name)``), so
         a workload driven through the compiled cluster replays the same
-        byte-identical transcript.
+        byte-identical transcript.  A workload whose :class:`SourceSpec` is
+        ``kind="streaming"`` compiles to a source-backed deployment (the
+        facade serves station batches lazily under the source's resident
+        cap); eager shapes — legacy fields or an eager source — compile to
+        the exact :class:`DatasetSpec` the pre-facade engine built.
         """
         from repro.utils.rng import derive_seed
 
-        dataset = DatasetSpec(
-            users_per_category=workload.users_per_category,
-            station_count=workload.station_count,
-            days=workload.days,
-            intervals_per_day=workload.intervals_per_day,
-            noise_level=workload.noise_level,
-            seed=derive_seed(workload.seed, "workload-dataset", workload.name),
-        )
+        derived_seed = derive_seed(workload.seed, "workload-dataset", workload.name)
+        shape = workload.effective_source()
+        dataset: DatasetSpec | None = None
+        source: SourceSpec | None = None
+        if shape.kind == "streaming":
+            source = shape.with_updates(
+                seed=shape.seed if shape.seed is not None else derived_seed
+            )
+        else:
+            dataset = DatasetSpec(
+                users_per_category=shape.users_per_category,
+                station_count=shape.station_count,
+                days=shape.days,
+                intervals_per_day=shape.intervals_per_day,
+                noise_level=shape.noise_level,
+                seed=shape.seed if shape.seed is not None else derived_seed,
+            )
         config = DIMatchingConfig(
             epsilon=workload.epsilon,
             bit_backend=bit_backend,
@@ -317,6 +346,7 @@ class ClusterSpec:
         return cls(
             name=workload.name,
             dataset=dataset,
+            source=source,
             protocol=ProtocolSpec(
                 method=workload.method, epsilon=float(workload.epsilon), config=config
             ),

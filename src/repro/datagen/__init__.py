@@ -23,6 +23,12 @@ from repro.datagen.city import BaseStationSite, CityGrid
 from repro.datagen.generator import SyntheticCdrGenerator, generate_user_interval_values
 from repro.datagen.ground_truth import GroundTruthCohort, build_ground_truth_cohort
 from repro.datagen.mobility import UserMobility, assign_mobility
+from repro.datagen.source import (
+    DatasetStationSource,
+    SourceSpec,
+    StationSource,
+    StationSourceBase,
+)
 from repro.datagen.streaming import StreamingStationSource, iter_station_batches
 from repro.datagen.workload import (
     DatasetSpec,
@@ -49,6 +55,10 @@ __all__ = [
     "build_ground_truth_cohort",
     "UserMobility",
     "assign_mobility",
+    "StationSource",
+    "StationSourceBase",
+    "DatasetStationSource",
+    "SourceSpec",
     "StreamingStationSource",
     "iter_station_batches",
     "DatasetSpec",

@@ -1,0 +1,360 @@
+"""The ``StationSource`` protocol: the datagen ↔ cluster dataset boundary.
+
+The paper's center/station protocol never needs the whole city in memory —
+each base station holds only its own fragments — so the facade's dataset
+boundary is a *source of station batches*, not a materialized dataset.  This
+module makes that boundary formal:
+
+* :class:`StationSource` — a :class:`typing.Protocol` (``runtime_checkable``)
+  naming the surface the :class:`repro.cluster.Cluster` facade and the
+  workload engine consume: ``station_ids`` / ``station_batch`` /
+  ``local_patterns_at`` / ``retire`` / ``pattern_length`` / ``user_count`` /
+  ``resident_count`` plus the engine-facing exemplar-query hooks;
+* :class:`StationSourceBase` — the ABC implementations subclass; it supplies
+  the derivable half of the surface (``local_patterns_at`` from
+  ``station_batch``, exemplar-label ground truth, unbounded-residency
+  defaults) so a new source only writes the generation core;
+* :class:`DatasetStationSource` — the trivial source wrapping an eagerly
+  built :class:`repro.datagen.workload.DistributedDataset`: everything is
+  resident, ``retire`` is a no-op, ground truth is the exact
+  full-population ε-scan;
+* :class:`SourceSpec` — the declarative spec (``kind="eager" | "streaming"``)
+  that :class:`repro.cluster.ClusterSpec` and
+  :class:`repro.workloads.WorkloadSpec` embed, collapsing the previously
+  duplicated cohort-shape knobs into one place.
+
+``StreamingStationSource`` (:mod:`repro.datagen.streaming`) is the bounded-
+memory implementation: a scenario can declare 1M+ users while at most
+``max_resident`` station batches are ever resident.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.core.exceptions import ConfigurationError
+from repro.timeseries.pattern import LocalPattern, PatternSet
+from repro.timeseries.query import QueryPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.workload import DatasetSpec, DistributedDataset
+
+#: The source kinds :class:`SourceSpec` can declare.
+SOURCE_KINDS = ("eager", "streaming")
+
+
+@runtime_checkable
+class StationSource(Protocol):
+    """What the cluster facade and workload engine require of a dataset.
+
+    A source *declares* a city (``station_ids``, ``user_count``) and serves
+    per-station batches on demand; whether batches are precomputed or
+    generated lazily under a resident cap is the implementation's business.
+    ``resident_cap`` is ``None`` for fully materialized sources and the LRU
+    bound for streaming ones — the facade uses it to decide between eager
+    node construction and on-demand publish/retire.
+    """
+
+    @property
+    def station_ids(self) -> Sequence[str]: ...
+
+    @property
+    def user_count(self) -> int: ...
+
+    @property
+    def pattern_length(self) -> int: ...
+
+    @property
+    def resident_count(self) -> int: ...
+
+    @property
+    def resident_cap(self) -> "int | None": ...
+
+    def station_batch(self, station_id: str) -> Mapping[str, LocalPattern]: ...
+
+    def local_patterns_at(self, station_id: str) -> PatternSet: ...
+
+    def retire(self, station_id: str) -> bool: ...
+
+    @property
+    def exemplar_count(self) -> int: ...
+
+    def exemplar_query(self, index: int) -> QueryPattern: ...
+
+    def ground_truth(
+        self, queries: Sequence[QueryPattern], epsilon: float
+    ) -> frozenset[str]: ...
+
+
+class StationSourceBase(abc.ABC):
+    """ABC half of the :class:`StationSource` protocol.
+
+    Subclasses implement the generation core (``station_ids`` /
+    ``station_batch`` / ``user_count`` / ``pattern_length`` and the exemplar
+    hooks); the base supplies the derivable rest.  Defaults model a fully
+    materialized source: no resident cap, ``retire`` declines, ground truth
+    is the exemplar-label set (every user named by a query's own fragments).
+    """
+
+    @property
+    @abc.abstractmethod
+    def station_ids(self) -> Sequence[str]:
+        """All declared station identifiers, in canonical (publish) order."""
+
+    @property
+    @abc.abstractmethod
+    def user_count(self) -> int:
+        """Total declared users."""
+
+    @property
+    @abc.abstractmethod
+    def pattern_length(self) -> int:
+        """Number of intervals in every pattern."""
+
+    @abc.abstractmethod
+    def station_batch(self, station_id: str) -> Mapping[str, LocalPattern]:
+        """The local patterns stored at ``station_id``, keyed by user."""
+
+    @property
+    @abc.abstractmethod
+    def exemplar_count(self) -> int:
+        """How many exemplar queries :meth:`exemplar_query` can serve."""
+
+    @abc.abstractmethod
+    def exemplar_query(self, index: int) -> QueryPattern:
+        """The ``index``-th exemplar query (a known user's own fragments)."""
+
+    def local_patterns_at(self, station_id: str) -> PatternSet:
+        """:class:`DistributedDataset`-shaped accessor over station batches."""
+        return PatternSet(self.station_batch(station_id).values())
+
+    def retire(self, station_id: str) -> bool:
+        """Drop a station's resident batch; materialized sources hold nothing."""
+        return False
+
+    @property
+    def resident_count(self) -> int:
+        """Station batches currently held resident."""
+        return len(self.station_ids)
+
+    @property
+    def resident_cap(self) -> "int | None":
+        """The residency bound, or ``None`` when the source is materialized."""
+        return None
+
+    def ground_truth(
+        self, queries: Sequence[QueryPattern], epsilon: float
+    ) -> frozenset[str]:
+        """The users a perfect protocol run should surface for ``queries``.
+
+        The base answer is the *exemplar-label* set — the users named by the
+        queries' own fragments — which never scans the population and is
+        exact whenever exemplar users are mutually ε-distinct (the streaming
+        layout's regime).  Sources with full-population knowledge override
+        with the exact ε-scan.
+        """
+        return frozenset(
+            pattern.user_id for query in queries for pattern in query.local_patterns
+        )
+
+
+class DatasetStationSource(StationSourceBase):
+    """The trivial source: an eagerly built dataset, everything resident.
+
+    Wraps a :class:`repro.datagen.workload.DistributedDataset` so the facade
+    can consume eager and streaming datasets through one boundary.  Exemplar
+    queries enumerate the sorted non-decoy population (the same pool the
+    workload engine's query sampler draws from); ground truth is the exact
+    full-population ε-scan.
+    """
+
+    def __init__(self, dataset: "DistributedDataset") -> None:
+        self._dataset = dataset
+        self._exemplars = tuple(
+            user_id
+            for user_id in sorted(dataset.user_ids)
+            if not dataset.profile(user_id).is_decoy
+        )
+
+    @property
+    def dataset(self) -> "DistributedDataset":
+        """The wrapped eager dataset."""
+        return self._dataset
+
+    @property
+    def station_ids(self) -> Sequence[str]:
+        return tuple(self._dataset.station_ids)
+
+    @property
+    def user_count(self) -> int:
+        return self._dataset.user_count
+
+    @property
+    def pattern_length(self) -> int:
+        return self._dataset.pattern_length
+
+    def station_batch(self, station_id: str) -> Mapping[str, LocalPattern]:
+        return {
+            pattern.user_id: pattern
+            for pattern in self._dataset.local_patterns_at(station_id)
+        }
+
+    def local_patterns_at(self, station_id: str) -> PatternSet:
+        # Delegate for identity: callers holding the dataset and callers
+        # holding the source see the very same PatternSet values.
+        return self._dataset.local_patterns_at(station_id)
+
+    @property
+    def exemplar_count(self) -> int:
+        return len(self._exemplars)
+
+    def exemplar_query(self, index: int) -> QueryPattern:
+        user_id = self._exemplars[index]
+        return QueryPattern(
+            f"q-{user_id}", tuple(self._dataset.local_patterns_for(user_id))
+        )
+
+    def ground_truth(
+        self, queries: Sequence[QueryPattern], epsilon: float
+    ) -> frozenset[str]:
+        from repro.evaluation.experiments import ground_truth_users
+
+        return frozenset(ground_truth_users(self._dataset, queries, epsilon))
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Declarative station-source parameters — the one cohort-shape spelling.
+
+    ``kind="eager"`` compiles to a :class:`DatasetSpec` build wrapped in
+    :class:`DatasetStationSource`; ``kind="streaming"`` builds a
+    :class:`repro.datagen.streaming.StreamingStationSource` whose resident
+    set is LRU-bounded at ``max_resident`` stations.  ``users_per_category``
+    shapes eager cohorts (per occupation category), ``users_per_station``
+    shapes streaming ones (per declared station); naming both non-default is
+    a :class:`ConfigurationError`, not a silent precedence rule.
+    """
+
+    kind: str = "eager"
+    station_count: int = 5
+    users_per_category: int = 6
+    users_per_station: int = 100
+    days: int = 1
+    intervals_per_day: int = 24
+    noise_level: int = 0
+    #: Streaming-only knobs (fragment layout + residency bound).
+    fragments_per_user: int = 2
+    active_intervals: int = 6
+    max_resident: int = 64
+    #: Streaming-only: how many stations each round touches (``None`` = all
+    #: active).  The windowing knob that keeps a 10k-station round affordable.
+    stations_per_round: "int | None" = None
+    #: ``None`` inherits the deployment's derived seed at build time.
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ConfigurationError(
+                f"source kind must be one of {SOURCE_KINDS}, got {self.kind!r}"
+            )
+        for name in (
+            "station_count",
+            "users_per_category",
+            "users_per_station",
+            "days",
+            "intervals_per_day",
+            "fragments_per_user",
+            "active_intervals",
+            "max_resident",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+        if self.noise_level < 0:
+            raise ConfigurationError(
+                f"noise_level must be >= 0, got {self.noise_level!r}"
+            )
+        if self.kind == "streaming":
+            if self.fragments_per_user > self.station_count:
+                raise ConfigurationError(
+                    f"fragments_per_user ({self.fragments_per_user}) cannot exceed "
+                    f"station_count ({self.station_count})"
+                )
+            if self.active_intervals > self.pattern_length:
+                raise ConfigurationError(
+                    f"active_intervals ({self.active_intervals}) cannot exceed "
+                    f"pattern_length ({self.pattern_length})"
+                )
+        if self.stations_per_round is not None:
+            if self.kind != "streaming":
+                raise ConfigurationError(
+                    "stations_per_round is a streaming-source knob; "
+                    f"kind={self.kind!r} touches every station"
+                )
+            if (
+                not isinstance(self.stations_per_round, int)
+                or isinstance(self.stations_per_round, bool)
+                or not 1 <= self.stations_per_round <= self.station_count
+            ):
+                raise ConfigurationError(
+                    f"stations_per_round must be in [1, {self.station_count}], "
+                    f"got {self.stations_per_round!r}"
+                )
+        if self.seed is not None and (
+            not isinstance(self.seed, int) or isinstance(self.seed, bool)
+        ):
+            raise ConfigurationError(f"seed must be an int or None, got {self.seed!r}")
+
+    @property
+    def pattern_length(self) -> int:
+        """Intervals per pattern: ``days * intervals_per_day``."""
+        return self.days * self.intervals_per_day
+
+    @property
+    def declared_user_count(self) -> int:
+        """How many users the built source will declare."""
+        if self.kind == "streaming":
+            return self.station_count * self.users_per_station
+        return self.dataset_spec().user_count
+
+    def dataset_spec(self, default_seed: int = 7) -> "DatasetSpec":
+        """The equivalent eager :class:`DatasetSpec` (eager sources only)."""
+        if self.kind != "eager":
+            raise ConfigurationError(
+                f"a {self.kind!r} source has no eager DatasetSpec equivalent"
+            )
+        from repro.datagen.workload import DatasetSpec
+
+        return DatasetSpec(
+            users_per_category=self.users_per_category,
+            station_count=self.station_count,
+            days=self.days,
+            intervals_per_day=self.intervals_per_day,
+            noise_level=self.noise_level,
+            seed=self.seed if self.seed is not None else default_seed,
+        )
+
+    def build(self, default_seed: int = 7) -> StationSource:
+        """Construct the station source this spec declares."""
+        if self.kind == "streaming":
+            from repro.datagen.streaming import StreamingStationSource
+
+            return StreamingStationSource(
+                station_count=self.station_count,
+                users_per_station=self.users_per_station,
+                pattern_length=self.pattern_length,
+                intervals_per_day=self.intervals_per_day,
+                fragments_per_user=self.fragments_per_user,
+                active_intervals=self.active_intervals,
+                seed=self.seed if self.seed is not None else default_seed,
+                max_resident=self.max_resident,
+            )
+        from repro.datagen.workload import build_dataset
+
+        return DatasetStationSource(build_dataset(self.dataset_spec(default_seed)))
+
+    def with_updates(self, **changes: object) -> "SourceSpec":
+        """A copy with the named fields replaced (and re-validated)."""
+        return replace(self, **changes)

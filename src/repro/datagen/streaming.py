@@ -30,11 +30,13 @@ and NumPy availability — the same determinism contract as the eager builders.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from repro.datagen.mobility import UserMobility
 from repro.datagen.scale import SCALE_CATEGORY
+from repro.datagen.source import StationSourceBase
 from repro.datagen.workload import DistributedDataset, UserProfile
 from repro.timeseries.pattern import LocalPattern, PatternSet
 from repro.timeseries.query import QueryPattern
@@ -42,7 +44,7 @@ from repro.utils.rng import derive_seed
 from repro.utils.validation import require_positive
 
 
-class StreamingStationSource:
+class StreamingStationSource(StationSourceBase):
     """Seed-derived station batches, generated lazily under a resident cap.
 
     ``station_batch`` (and the :class:`DistributedDataset`-shaped alias
@@ -169,17 +171,44 @@ class StreamingStationSource:
         """
         return QueryPattern(f"q-{user_id}", tuple(self.fragments_of(user_id)))
 
-    def sample_queries(self, query_count: int, seed: int = 7) -> list[QueryPattern]:
-        """Deterministically sample ``query_count`` users as exemplar queries."""
+    def sample_queries(
+        self, query_count: int, seed: "int | None" = None
+    ) -> list[QueryPattern]:
+        """Deterministically sample ``query_count`` users as exemplar queries.
+
+        The draw derives from the *source's own* seed stream by default, so
+        differently-seeded sources never silently share query draws; pass
+        ``seed`` only to decouple the sample from the source seed.
+        """
         require_positive(query_count, "query_count")
         if query_count > self.user_count:
             raise ValueError(
                 f"query_count ({query_count}) exceeds the declared "
                 f"{self.user_count} users"
             )
-        rng = random.Random(derive_seed(seed, "stream-queries", query_count))
+        base = self._seed if seed is None else seed
+        rng = random.Random(derive_seed(base, "stream-queries", query_count))
         chosen = rng.sample(range(self.user_count), query_count)
         return [self.query_for(f"u{index:07d}") for index in sorted(chosen)]
+
+    # -- exemplar hooks (the engine-facing StationSource surface) ----------------
+
+    @property
+    def exemplar_count(self) -> int:
+        """Every declared user is addressable as an exemplar query."""
+        return self.user_count
+
+    def exemplar_query(self, index: int) -> QueryPattern:
+        """The ``index``-th declared user's own fragments as a query.
+
+        O(fragments) from the user's seed stream — asking for an exemplar
+        never builds (or touches) any station batch.
+        """
+        if not 0 <= index < self.user_count:
+            raise IndexError(
+                f"exemplar index {index} out of range for {self.user_count} users"
+            )
+        return self.query_for(f"u{index:07d}")
 
     # -- lazy station batches ----------------------------------------------------
 
@@ -229,6 +258,11 @@ class StreamingStationSource:
         return len(self._resident)
 
     @property
+    def resident_cap(self) -> int:
+        """The LRU residency bound this source was configured with."""
+        return self._max_resident
+
+    @property
     def built_count(self) -> int:
         """How many station batches were generated (cache misses)."""
         return self._built
@@ -243,12 +277,33 @@ class StreamingStationSource:
     def materialize(
         self, station_ids: "Sequence[str] | None" = None
     ) -> DistributedDataset:
-        """An eager :class:`DistributedDataset` over a station subset.
+        """Deprecated bridge: an eager :class:`DistributedDataset` snapshot.
 
-        The bridge into the existing engine/facade stack, which expects a
-        materialized dataset: only the named stations' batches are built (all
-        of them when ``station_ids`` is None), and every user with a fragment
-        on an included station is profiled.  Fragments pointing at excluded
+        .. deprecated::
+            The facade and the workload engine consume streaming sources
+            directly through the :class:`repro.datagen.source.StationSource`
+            boundary (``Cluster(spec, source=...)`` /
+            ``Cluster.adopt(source=...)``); materializing defeats the
+            bounded-resident-set contract.  Only the ``station_ids``-subset
+            form remains useful for offline inspection.
+        """
+        warnings.warn(
+            "StreamingStationSource.materialize() is deprecated: pass the "
+            "source itself to Cluster(spec, source=...) / Cluster.adopt("
+            "source=...) instead of materializing it into an eager dataset",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._materialize(station_ids)
+
+    def _materialize(
+        self, station_ids: "Sequence[str] | None" = None
+    ) -> DistributedDataset:
+        """The eager snapshot itself, warning-free for internal/test use.
+
+        Only the named stations' batches are built (all of them when
+        ``station_ids`` is None), and every user with a fragment on an
+        included station is profiled.  Fragments pointing at excluded
         stations are left out, exactly as a drive that never contacts those
         cells would see the city.
         """

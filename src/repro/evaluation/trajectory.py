@@ -153,6 +153,24 @@ def headline_metrics(document: dict) -> list[HeadlineMetric]:
                 )
         # The digests are strings, so they cannot ride the numeric gate; the
         # benchmark itself (and the parity suites) assert byte-identity.
+    if isinstance(payload.get("source"), dict) and "peak_resident" in payload["source"]:
+        # Streaming-source soak: residency is the memory bound under test —
+        # growth means the LRU cap stopped holding; shrinking declared scale
+        # means the soak quietly stopped exercising the census it claims.
+        source = payload["source"]
+        metrics.append(
+            HeadlineMetric("source.peak_resident", float(source["peak_resident"]), _LOWER)
+        )
+        if "evictions" in source:
+            metrics.append(
+                HeadlineMetric("source.evictions", float(source["evictions"]), _LOWER)
+            )
+        if "declared_users" in source:
+            metrics.append(
+                HeadlineMetric(
+                    "source.declared_users", float(source["declared_users"]), _HIGHER
+                )
+            )
     if "batch_bytes" in payload:  # wire-codec size benchmark
         for key in ("batch_bytes", "batch_bytes_zlib", "report_upload_bytes"):
             if key in payload:

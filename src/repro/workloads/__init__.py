@@ -8,6 +8,7 @@ replayable transcript are all pure functions of ``(scenario, seed)``.  The
 named catalog lives in :data:`SCENARIOS`.
 """
 
+from repro.datagen.source import SourceSpec
 from repro.workloads.engine import run_workload
 from repro.workloads.result import (
     PhaseWindow,
@@ -41,6 +42,7 @@ __all__ = [
     "RampPhase",
     "RoundMetrics",
     "SCENARIOS",
+    "SourceSpec",
     "StatSummary",
     "StreamingStat",
     "WorkloadAggregator",

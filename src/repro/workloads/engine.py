@@ -167,6 +167,116 @@ class _QuerySampler:
         return queries
 
 
+class _EagerProvider:
+    """The materialized-dataset data plane of a workload run.
+
+    Thin glue over the classic pieces — :class:`_QuerySampler`,
+    :func:`ground_truth_users` and the dataset's pattern accessors — kept
+    byte-identical to the pre-:class:`StationSource` engine so every golden
+    transcript replays unchanged.
+    """
+
+    def __init__(self, spec: WorkloadSpec, dataset: DistributedDataset) -> None:
+        self._spec = spec
+        self._dataset = dataset
+        self._sampler = _QuerySampler(spec, dataset)
+
+    def sample(self, round_index: int, count: int) -> list[QueryPattern]:
+        return self._sampler.sample(round_index, count)
+
+    def truth(self, queries: Sequence[QueryPattern]) -> frozenset[str]:
+        return frozenset(
+            ground_truth_users(self._dataset, queries, float(self._spec.epsilon))
+        )
+
+    def patterns_at(self, station_id: str):
+        return self._dataset.local_patterns_at(station_id)
+
+    def round_station_ids(
+        self, round_index: int, active: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Eager rounds touch every churn-active station."""
+        return active
+
+    def observe(self) -> None:
+        """Nothing to track: the whole city is resident by construction."""
+
+    def stats(self) -> "dict[str, object] | None":
+        return None
+
+
+class _SourceProvider:
+    """The streaming-source data plane: bounded residency at any declared scale.
+
+    Queries are uniform draws over the source's exemplar space (an O(1)
+    index draw plus an O(fragments) derivation — never a population scan),
+    ground truth is the source's own :meth:`StationSource.ground_truth`, and
+    ``stations_per_round`` windows each round's touch set so round cost
+    scales with the window, not the declared city.  ``observe``/:meth:`stats`
+    track the peak resident station batches and eviction traffic the soak
+    benchmark commits as headline metrics.
+    """
+
+    def __init__(self, spec: WorkloadSpec, source) -> None:
+        self._spec = spec
+        self._source = source
+        source_spec = spec.effective_source()
+        self._window = source_spec.stations_per_round
+        self._max_resident = source_spec.max_resident
+        self._peak_resident = 0
+        self.observe()
+
+    def sample(self, round_index: int, count: int) -> list[QueryPattern]:
+        rng = make_rng(
+            self._spec.seed, "workload-queries", self._spec.name, round_index
+        )
+        indices = rng.integers(0, self._source.exemplar_count, size=count)
+        queries = []
+        for position, index in enumerate(indices):
+            exemplar = self._source.exemplar_query(int(index))
+            # Exemplar ids are "q-<user>"; rebrand with the engine's round
+            # coordinates, the same shape the eager sampler emits.
+            queries.append(
+                QueryPattern(
+                    f"q{round_index:03d}-{position:03d}-{exemplar.query_id[2:]}",
+                    exemplar.local_patterns,
+                )
+            )
+        return queries
+
+    def truth(self, queries: Sequence[QueryPattern]) -> frozenset[str]:
+        return self._source.ground_truth(queries, float(self._spec.epsilon))
+
+    def patterns_at(self, station_id: str):
+        return self._source.local_patterns_at(station_id)
+
+    def round_station_ids(
+        self, round_index: int, active: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """A seeded ``stations_per_round`` window of the active set."""
+        if self._window is None or self._window >= len(active):
+            return active
+        rng = make_rng(self._spec.seed, "workload-touch", self._spec.name, round_index)
+        chosen = rng.choice(len(active), size=self._window, replace=False)
+        return tuple(sorted(active[int(position)] for position in chosen))
+
+    def observe(self) -> None:
+        """Record the residency high-water mark after a step."""
+        self._peak_resident = max(self._peak_resident, self._source.resident_count)
+
+    def stats(self) -> "dict[str, object] | None":
+        return {
+            "kind": "streaming",
+            "declared_users": int(self._source.user_count),
+            "station_count": len(self._source.station_ids),
+            "max_resident": int(self._max_resident),
+            "stations_per_round": self._window,
+            "peak_resident": int(self._peak_resident),
+            "built": int(getattr(self._source, "built_count", self._source.resident_count)),
+            "evictions": int(getattr(self._source, "eviction_count", 0)),
+        }
+
+
 def run_workload(
     spec: WorkloadSpec,
     *,
@@ -205,8 +315,16 @@ def run_workload(
         network_config=network_config,
         transport=transport,
     )
-    dataset = build_dataset(cluster_spec.dataset)
-    sampler = _QuerySampler(spec, dataset)
+    if cluster_spec.source is not None:
+        # Streaming city: the source *is* the dataset boundary — batches are
+        # derived on demand and the whole population is never materialized.
+        source = cluster_spec.source.build()
+        provider: _EagerProvider | _SourceProvider = _SourceProvider(spec, source)
+        cluster_cm = Cluster(cluster_spec, source=source)
+    else:
+        dataset = build_dataset(cluster_spec.dataset)
+        provider = _EagerProvider(spec, dataset)
+        cluster_cm = Cluster(cluster_spec, dataset=dataset)
     aggregator = WorkloadAggregator(
         scenario=spec.name,
         seed=spec.seed,
@@ -217,25 +335,25 @@ def run_workload(
         # executor runner; recording the knob there would misstate the run.
         executor=(executor or "serial") if drive != "session" else "serial",
     )
-    with Cluster(cluster_spec, dataset=dataset) as cluster:
+    with cluster_cm as cluster:
         session = cluster.open_session(
             mode="deltas" if drive == "session" else "rounds"
         )
         if drive == "simulation":
-            _drive_rounds(spec, dataset, cluster, session, sampler, aggregator)
+            _drive_rounds(spec, provider, cluster, session, aggregator)
         elif drive == "open":
-            _drive_open(spec, dataset, cluster, session, sampler, aggregator)
+            _drive_open(spec, provider, cluster, session, aggregator)
         else:
-            _drive_deltas(spec, dataset, cluster, session, sampler, aggregator)
+            _drive_deltas(spec, provider, cluster, session, aggregator)
+    aggregator.set_source_stats(provider.stats())
     return aggregator.finish()
 
 
 def _drive_rounds(
     spec: WorkloadSpec,
-    dataset: DistributedDataset,
+    provider: _EagerProvider | _SourceProvider,
     cluster: Cluster,
     session: ClusterSession,
-    sampler: _QuerySampler,
     aggregator: WorkloadAggregator,
 ) -> None:
     """Full per-round wire rounds over churned station subsets."""
@@ -246,24 +364,26 @@ def _drive_rounds(
         joined, left = churn.step(round_index)
         refreshed = spec.arrival.refreshes_at(round_index)
         if refreshed:
-            queries = sampler.sample(round_index, spec.arrival.count_at(round_index))
+            queries = provider.sample(round_index, spec.arrival.count_at(round_index))
             # Ground truth is a pure function of the batch: recompute
             # only on rotation, not per round.
-            truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+            truth = provider.truth(queries)
             session.subscribe(queries)
+        round_stations = provider.round_station_ids(round_index, churn.active)
         report = session.step(
             RoundOptions(
-                station_ids=churn.active,
+                station_ids=round_stations,
                 net_seed=_round_net_seed(spec, round_index),
                 k=len(truth),
             )
         )
+        provider.observe()
         metrics = evaluate_retrieval(tuple(report.retrieved_user_ids), truth)
         aggregator.add_round(
             RoundMetrics(
                 round_index=round_index,
                 query_count=len(queries),
-                active_station_count=len(churn.active),
+                active_station_count=len(round_stations),
                 joined=joined,
                 left=left,
                 downlink_bytes=report.downlink_bytes,
@@ -319,10 +439,9 @@ def _phase_arrivals(
 
 def _drive_open(
     spec: WorkloadSpec,
-    dataset: DistributedDataset,
+    provider: _EagerProvider | _SourceProvider,
     cluster: Cluster,
     session: ClusterSession,
-    sampler: _QuerySampler,
     aggregator: WorkloadAggregator,
 ) -> None:
     """Rate-driven admissions through a single-server virtual-clock queue.
@@ -358,18 +477,20 @@ def _drive_open(
             joined, left = churn.step(arrival_index)
             refreshed = spec.arrival.refreshes_at(arrival_index)
             if refreshed:
-                queries = sampler.sample(
+                queries = provider.sample(
                     arrival_index, spec.arrival.count_at(arrival_index)
                 )
-                truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+                truth = provider.truth(queries)
                 session.subscribe(queries)
+            round_stations = provider.round_station_ids(arrival_index, churn.active)
             report = session.step(
                 RoundOptions(
-                    station_ids=churn.active,
+                    station_ids=round_stations,
                     net_seed=_round_net_seed(spec, arrival_index),
                     k=len(truth),
                 )
             )
+            provider.observe()
             service_s = report.latency_s
             start_s = max(arrival_s, busy_until)
             queue_delay_s = start_s - arrival_s
@@ -379,7 +500,7 @@ def _drive_open(
                 RoundMetrics(
                     round_index=arrival_index,
                     query_count=len(queries),
-                    active_station_count=len(churn.active),
+                    active_station_count=len(round_stations),
                     joined=joined,
                     left=left,
                     downlink_bytes=report.downlink_bytes,
@@ -408,10 +529,9 @@ def _drive_open(
 
 def _drive_deltas(
     spec: WorkloadSpec,
-    dataset: DistributedDataset,
+    provider: _EagerProvider | _SourceProvider,
     cluster: Cluster,
     session: ClusterSession,
-    sampler: _QuerySampler,
     aggregator: WorkloadAggregator,
 ) -> None:
     """One continuous delta session across all rounds.
@@ -432,12 +552,12 @@ def _drive_deltas(
         joined, left = churn.step(round_index)
         refreshed = spec.arrival.refreshes_at(round_index)
         if refreshed:
-            queries = sampler.sample(round_index, spec.arrival.count_at(round_index))
-            truth = ground_truth_users(dataset, queries, float(spec.epsilon))
+            queries = provider.sample(round_index, spec.arrival.count_at(round_index))
+            truth = provider.truth(queries)
         if not started:
             session.subscribe(queries)
             for station_id in churn.active:
-                session.publish(station_id, dataset.local_patterns_at(station_id))
+                session.publish(station_id, provider.patterns_at(station_id))
             started = True
         else:
             # Departures first, so a simultaneous rotation never re-matches
@@ -447,10 +567,11 @@ def _drive_deltas(
             if refreshed:
                 session.subscribe(queries)
             for station_id in joined:
-                session.publish(station_id, dataset.local_patterns_at(station_id))
+                session.publish(station_id, provider.patterns_at(station_id))
         report = session.step(
             RoundOptions(net_seed=_round_net_seed(spec, round_index), k=len(truth))
         )
+        provider.observe()
         metrics = evaluate_retrieval(tuple(report.retrieved_user_ids), truth)
         aggregator.add_round(
             RoundMetrics(

@@ -244,6 +244,11 @@ class WorkloadResult:
     cumulative: dict[str, StatSummary]
     transcripts: tuple[bytes, ...] = field(repr=False, default=())
     phases: tuple[PhaseWindow, ...] = ()
+    #: Streaming-source runs: the source's residency accounting (declared
+    #: users, peak resident station batches, evictions).  ``None`` for eager
+    #: datasets, and then absent from the payload so committed closed-loop
+    #: baselines stay byte-identical.
+    source_stats: "dict[str, object] | None" = None
 
     @property
     def round_count(self) -> int:
@@ -304,6 +309,8 @@ class WorkloadResult:
         }
         if open_loop:
             payload["phases"] = [window.to_payload() for window in self.phases]
+        if self.source_stats is not None:
+            payload["source"] = dict(self.source_stats)
         return payload
 
 
@@ -335,6 +342,11 @@ class WorkloadAggregator:
         self._transcripts: list[bytes] = []
         self._streams = {name: StreamingStat() for name in _STREAMED_QUANTITIES}
         self._phases: list[dict] = []
+        self._source_stats: "dict[str, object] | None" = None
+
+    def set_source_stats(self, stats: "dict[str, object] | None") -> None:
+        """Attach the streaming source's residency accounting (or ``None``)."""
+        self._source_stats = None if stats is None else dict(stats)
 
     def begin_phase(
         self,
@@ -434,4 +446,5 @@ class WorkloadAggregator:
             cumulative=self.snapshot(),
             transcripts=tuple(self._transcripts),
             phases=self._frozen_phases(),
+            source_stats=self._source_stats,
         )

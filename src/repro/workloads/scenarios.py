@@ -12,6 +12,7 @@ here automatically enrolls it in all three.
 
 from __future__ import annotations
 
+from repro.datagen.source import SourceSpec
 from repro.workloads.spec import (
     ArrivalProcess,
     ChurnProcess,
@@ -182,5 +183,29 @@ register_scenario(
             max_arrivals=80,
         ),
         seed=1210,
+    )
+)
+
+# seed 1211 belongs to benchmarks/bench_open_loop.py's pinned sweep.
+register_scenario(
+    WorkloadSpec(
+        name="open-soak-1m",
+        description="Million-user streaming soak: 10k stations x 100 users declared through a StationSource, a 48-batch LRU residency cap and 12-station round windows — open-loop arrivals touch the city incrementally, so memory is bounded by the cap, never the census.",
+        rounds=6,
+        arrival=ArrivalProcess(kind="constant", base=3, refresh_every=2),
+        offered=OfferedLoad(
+            rate_qps=2.0,
+            process="scheduled",
+            ramp=(RampPhase("plateau", 16.0, 1.0),),
+            max_arrivals=24,
+        ),
+        source=SourceSpec(
+            kind="streaming",
+            station_count=10_000,
+            users_per_station=100,
+            max_resident=48,
+            stations_per_round=12,
+        ),
+        seed=1212,
     )
 )

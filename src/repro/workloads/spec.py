@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import FAULT_PROFILE_CHOICES
 from repro.core.exceptions import ConfigurationError
+from repro.datagen.source import SourceSpec
 from repro.utils.validation import require_non_negative, require_positive
 
 #: Query arrival shapes over the rounds of a workload.
@@ -303,6 +304,12 @@ class WorkloadSpec:
     #: Open-system arrival model; required by (and only consulted in) the
     #: ``open`` drive.  Closed-loop drives keep using ``rounds``/``arrival``.
     offered: OfferedLoad | None = None
+    #: The one cohort-shape spelling going forward: a declarative
+    #: :class:`~repro.datagen.source.SourceSpec`.  When set, the legacy
+    #: dataset-shape fields above must stay at their defaults (naming the
+    #: shape twice is a :class:`ConfigurationError`, not a precedence rule).
+    #: ``kind="streaming"`` sources drive the bounded-memory lazy path.
+    source: SourceSpec | None = None
     # -- environment pairing ---------------------------------------------------
     method: str = "wbf"
     fault_profile: str = "none"
@@ -338,14 +345,62 @@ class WorkloadSpec:
             f"seed must be an integer, got {self.seed!r}",
         )
         _require(
+            self.source is None or isinstance(self.source, SourceSpec),
+            f"source must be a SourceSpec or None, got {self.source!r}",
+        )
+        if self.source is not None:
+            spelled_twice = [
+                name
+                for name, default in (
+                    ("users_per_category", 6),
+                    ("station_count", 5),
+                    ("days", 1),
+                    ("intervals_per_day", 24),
+                    ("noise_level", 0),
+                )
+                if getattr(self, name) != default
+            ]
+            _require(
+                not spelled_twice,
+                "cohort shape is spelled twice: source= is set, so the legacy "
+                f"field(s) {spelled_twice} must stay at their defaults — move "
+                "them into the SourceSpec",
+            )
+            if self.source.kind == "streaming":
+                _require(
+                    self.mix == QueryMix(),
+                    "streaming sources sample exemplars uniformly: QueryMix "
+                    "hot-set/category shaping needs an eager source",
+                )
+        _require(
             isinstance(self.churn.min_active, int)
-            and self.churn.min_active <= self.station_count,
+            and self.churn.min_active <= self.effective_station_count,
             f"churn.min_active ({self.churn.min_active}) cannot exceed "
-            f"station_count ({self.station_count})",
+            f"station_count ({self.effective_station_count})",
         )
         _require(
             self.offered is None or isinstance(self.offered, OfferedLoad),
             f"offered must be an OfferedLoad or None, got {self.offered!r}",
+        )
+
+    def effective_source(self) -> SourceSpec:
+        """The city declaration: ``source`` or the legacy fields lifted into one."""
+        if self.source is not None:
+            return self.source
+        return SourceSpec(
+            kind="eager",
+            station_count=self.station_count,
+            users_per_category=self.users_per_category,
+            days=self.days,
+            intervals_per_day=self.intervals_per_day,
+            noise_level=self.noise_level,
+        )
+
+    @property
+    def effective_station_count(self) -> int:
+        """Declared stations, whichever spelling declared them."""
+        return (
+            self.source.station_count if self.source is not None else self.station_count
         )
 
     def with_updates(self, **changes: object) -> "WorkloadSpec":

@@ -1,0 +1,201 @@
+"""The StationSource boundary: protocol conformance, specs, the eager wrapper."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.datagen import (
+    DatasetStationSource,
+    SourceSpec,
+    StationSource,
+    StationSourceBase,
+)
+from repro.datagen.streaming import StreamingStationSource
+from repro.datagen.workload import DatasetSpec, build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        DatasetSpec(
+            users_per_category=4,
+            station_count=4,
+            days=1,
+            intervals_per_day=24,
+            noise_level=0,
+            seed=2026,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def eager_source(dataset):
+    return DatasetStationSource(dataset)
+
+
+@pytest.fixture(scope="module")
+def streaming_source():
+    return SourceSpec(
+        kind="streaming",
+        station_count=6,
+        users_per_station=4,
+        max_resident=3,
+        seed=42,
+    ).build()
+
+
+class TestProtocolConformance:
+    def test_both_implementations_satisfy_the_protocol(
+        self, eager_source, streaming_source
+    ):
+        assert isinstance(eager_source, StationSource)
+        assert isinstance(streaming_source, StationSource)
+        assert isinstance(eager_source, StationSourceBase)
+        assert isinstance(streaming_source, StationSourceBase)
+
+    def test_an_unrelated_object_does_not(self):
+        assert not isinstance(object(), StationSource)
+
+    def test_resident_cap_distinguishes_the_serving_modes(
+        self, eager_source, streaming_source
+    ):
+        # None = fully materialized; an int = LRU-bounded streaming.
+        assert eager_source.resident_cap is None
+        assert streaming_source.resident_cap == 3
+
+    def test_base_supplies_patterns_and_retire_defaults(self, streaming_source):
+        station_id = streaming_source.station_ids[0]
+        patterns = streaming_source.local_patterns_at(station_id)
+        assert len(patterns) > 0
+        assert {p.user_id for p in patterns} == set(
+            streaming_source.station_batch(station_id)
+        )
+
+
+class TestDatasetStationSource:
+    def test_declares_the_wrapped_city(self, dataset, eager_source):
+        assert eager_source.station_ids == tuple(dataset.station_ids)
+        assert eager_source.user_count == dataset.user_count
+        assert eager_source.pattern_length == dataset.pattern_length
+        assert eager_source.resident_count == len(dataset.station_ids)
+        assert eager_source.dataset is dataset
+
+    def test_local_patterns_preserve_dataset_identity(self, dataset, eager_source):
+        for station_id in dataset.station_ids:
+            theirs = dataset.local_patterns_at(station_id)
+            ours = eager_source.local_patterns_at(station_id)
+            assert {p.user_id: list(p.values) for p in ours} == {
+                p.user_id: list(p.values) for p in theirs
+            }
+
+    def test_retire_declines_everything_stays_resident(self, eager_source):
+        station_id = eager_source.station_ids[0]
+        assert eager_source.retire(station_id) is False
+        assert eager_source.resident_count == len(eager_source.station_ids)
+
+    def test_exemplars_are_the_sorted_non_decoy_pool(self, dataset, eager_source):
+        expected = [
+            user_id
+            for user_id in sorted(dataset.user_ids)
+            if not dataset.profile(user_id).is_decoy
+        ]
+        assert eager_source.exemplar_count == len(expected)
+        query = eager_source.exemplar_query(0)
+        assert query.query_id == f"q-{expected[0]}"
+        assert all(p.user_id == expected[0] for p in query.local_patterns)
+
+    def test_ground_truth_is_the_exact_scan(self, dataset, eager_source):
+        from repro.evaluation.experiments import ground_truth_users
+
+        queries = [eager_source.exemplar_query(i) for i in range(3)]
+        assert eager_source.ground_truth(queries, 0.0) == frozenset(
+            ground_truth_users(dataset, queries, 0.0)
+        )
+
+
+class TestStreamingExemplars:
+    def test_exemplar_space_covers_the_declared_census(self, streaming_source):
+        assert streaming_source.exemplar_count == streaming_source.user_count
+
+    def test_exemplar_queries_never_build_batches(self):
+        source = SourceSpec(
+            kind="streaming", station_count=6, users_per_station=4, seed=42
+        ).build()
+        query = source.exemplar_query(5)
+        assert query.local_patterns
+        assert source.built_count == 0
+        with pytest.raises(IndexError):
+            source.exemplar_query(source.exemplar_count)
+        with pytest.raises(IndexError):
+            source.exemplar_query(-1)
+
+    def test_exemplar_ground_truth_is_the_label_set(self, streaming_source):
+        queries = [streaming_source.exemplar_query(i) for i in (0, 3)]
+        truth = streaming_source.ground_truth(queries, 0.0)
+        assert truth == {"u0000000", "u0000003"}
+
+
+class TestSourceSpec:
+    def test_defaults_are_a_valid_eager_spec(self):
+        spec = SourceSpec()
+        assert spec.kind == "eager"
+        assert spec.pattern_length == 24
+        assert spec.dataset_spec().station_count == spec.station_count
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="source kind"):
+            SourceSpec(kind="oracular")
+
+    def test_rejects_non_positive_shape_knobs(self):
+        for field in ("station_count", "users_per_station", "max_resident"):
+            with pytest.raises(ConfigurationError, match=field):
+                SourceSpec(kind="streaming", **{field: 0})
+
+    def test_stations_per_round_is_streaming_only_and_bounded(self):
+        with pytest.raises(ConfigurationError, match="streaming-source knob"):
+            SourceSpec(kind="eager", stations_per_round=2)
+        with pytest.raises(ConfigurationError, match="stations_per_round"):
+            SourceSpec(kind="streaming", station_count=4, stations_per_round=5)
+        spec = SourceSpec(kind="streaming", station_count=4, stations_per_round=4)
+        assert spec.stations_per_round == 4
+
+    def test_streaming_layout_constraints(self):
+        with pytest.raises(ConfigurationError, match="fragments_per_user"):
+            SourceSpec(kind="streaming", station_count=2, fragments_per_user=3)
+        with pytest.raises(ConfigurationError, match="active_intervals"):
+            SourceSpec(kind="streaming", days=1, intervals_per_day=4)
+
+    def test_declared_user_count_scales_with_the_kind(self):
+        streaming = SourceSpec(
+            kind="streaming", station_count=100, users_per_station=50
+        )
+        assert streaming.declared_user_count == 5_000
+        eager = SourceSpec(kind="eager")
+        assert eager.declared_user_count == eager.dataset_spec().user_count
+
+    def test_eager_spec_has_no_streaming_build_and_vice_versa(self):
+        with pytest.raises(ConfigurationError, match="no eager DatasetSpec"):
+            SourceSpec(kind="streaming").dataset_spec()
+
+    def test_build_dispatches_on_kind(self):
+        eager = SourceSpec(kind="eager", users_per_category=4, station_count=3).build()
+        assert isinstance(eager, DatasetStationSource)
+        streaming = SourceSpec(
+            kind="streaming", station_count=3, users_per_station=2
+        ).build()
+        assert isinstance(streaming, StreamingStationSource)
+        assert streaming.resident_cap == SourceSpec().max_resident
+
+    def test_build_threads_the_seed(self):
+        spec = SourceSpec(kind="streaming", station_count=3, users_per_station=2)
+        # None inherits the caller's default seed; an explicit seed wins.
+        a = spec.build(default_seed=11)
+        b = spec.with_updates(seed=11).build(default_seed=99)
+        sid = a.station_ids[0]
+        assert {u: f.values for u, f in a.station_batch(sid).items()} == {
+            u: f.values for u, f in b.station_batch(sid).items()
+        }
+
+    def test_with_updates_revalidates(self):
+        spec = SourceSpec(kind="streaming", station_count=4, stations_per_round=4)
+        with pytest.raises(ConfigurationError):
+            spec.with_updates(station_count=2)

@@ -152,6 +152,18 @@ class TestDeterminism:
         assert source.resident_count == 0
         assert queries == source.sample_queries(5)  # and they are deterministic
 
+    def test_query_sampling_derives_from_the_source_seed(self):
+        # No explicit seed: the draw comes from the source's own identity,
+        # so differently-seeded sources sample different exemplars.
+        baseline = [q.query_id for q in _source().sample_queries(4)]
+        reseeded = [q.query_id for q in _source(seed=43).sample_queries(4)]
+        assert baseline != reseeded
+        # An explicit seed overrides the identity: both sources then pick
+        # the same exemplar ids (content still differs with the city).
+        left = [q.query_id for q in _source().sample_queries(4, seed=7)]
+        right = [q.query_id for q in _source(seed=43).sample_queries(4, seed=7)]
+        assert left == right
+
     def test_query_fragments_match_the_station_batches(self):
         source = _source()
         query = source.query_for("u0000003")
@@ -161,9 +173,16 @@ class TestDeterminism:
 
 
 class TestMaterialize:
+    def test_materialize_is_deprecated_in_favor_of_source_adoption(self):
+        source = _source()
+        with pytest.warns(DeprecationWarning, match="Cluster\\(spec, source="):
+            dataset = source.materialize()
+        assert dataset.station_ids == source.station_ids
+
     def test_full_materialization_matches_the_lazy_view(self):
         source = _source()
-        dataset = source.materialize()
+        with pytest.warns(DeprecationWarning):
+            dataset = source.materialize()
         assert dataset.station_ids == source.station_ids
         assert len(dataset.user_ids) == source.user_count
         for station_id in source.station_ids:
@@ -176,12 +195,13 @@ class TestMaterialize:
     def test_subset_materialization_only_builds_the_subset(self):
         source = _source()
         chosen = source.station_ids[:3]
-        dataset = source.materialize(chosen)
+        with pytest.warns(DeprecationWarning):
+            dataset = source.materialize(chosen)
         assert dataset.station_ids == chosen
         # Users appear iff they store a fragment on an included station, and
         # only those fragments are present.
         for user_id in dataset.user_ids:
             stations = {f.station_id for f in source.fragments_of(user_id)}
             assert stations & set(chosen)
-        with pytest.raises(KeyError):
+        with pytest.warns(DeprecationWarning), pytest.raises(KeyError):
             source.materialize(["nope"])

@@ -32,6 +32,18 @@ WORKLOAD_PAYLOAD = {
 
 WIRE_PAYLOAD = {"batch_bytes": 900, "batch_bytes_zlib": 700, "report_upload_bytes": 4000}
 
+SOAK_PAYLOAD = {
+    "source": {
+        "kind": "streaming",
+        "declared_users": 1_000_000,
+        "station_count": 10_000,
+        "max_resident": 48,
+        "peak_resident": 48,
+        "built": 288,
+        "evictions": 240,
+    },
+}
+
 
 def _document(payload, name="demo"):
     return {"schema_version": 1, "benchmark": name, "payload": payload}
@@ -58,6 +70,21 @@ class TestHeadlineMetrics:
     def test_wire_payload_tracks_sizes(self):
         metrics = {m.name: m for m in headline_metrics(_document(WIRE_PAYLOAD))}
         assert metrics["batch_bytes"].value == 900
+
+    def test_soak_payload_tracks_residency_direction_aware(self):
+        metrics = {m.name: m for m in headline_metrics(_document(SOAK_PAYLOAD))}
+        # Residency growth regresses (the cap stopped holding) ...
+        assert metrics["source.peak_resident"].value == 48
+        assert metrics["source.peak_resident"].direction == "lower"
+        assert metrics["source.evictions"].direction == "lower"
+        # ... and declared-scale shrinkage regresses (the soak got smaller).
+        assert metrics["source.declared_users"].value == 1_000_000
+        assert metrics["source.declared_users"].direction == "higher"
+
+    def test_source_section_composes_with_the_workload_shape(self):
+        payload = dict(WORKLOAD_PAYLOAD, **SOAK_PAYLOAD)
+        names = {m.name for m in headline_metrics(_document(payload))}
+        assert {"total_bytes", "source.peak_resident"} <= names
 
     def test_unknown_payload_yields_nothing(self):
         assert headline_metrics(_document({"something": 1})) == []

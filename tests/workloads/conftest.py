@@ -18,7 +18,14 @@ TINY = dict(users_per_category=3, station_count=3, rounds=3)
 
 
 def tiny_spec(name: str, **extra: object) -> WorkloadSpec:
-    """The named scenario scaled down to test size."""
+    """The named scenario scaled down to test size.
+
+    Source-backed scenarios keep their cohort shape inside the
+    :class:`~repro.datagen.source.SourceSpec` (spelling it twice through the
+    legacy fields is a :class:`ConfigurationError`), so the tiny overrides
+    are mapped onto the source instead — with a residency cap small enough
+    that even the tiny city exercises eviction.
+    """
     spec = get_scenario(name)
     overrides = dict(TINY)
     if spec.churn.min_active > overrides["station_count"]:
@@ -26,6 +33,18 @@ def tiny_spec(name: str, **extra: object) -> WorkloadSpec:
 
         overrides["churn"] = replace(spec.churn, min_active=1)
     overrides.update(extra)
+    if spec.source is not None:
+        station_count = int(overrides.pop("station_count"))
+        overrides.pop("users_per_category", None)
+        source_updates: dict[str, object] = {"station_count": station_count}
+        if spec.source.kind == "streaming":
+            source_updates["users_per_station"] = 4
+            source_updates["max_resident"] = 2
+            if spec.source.stations_per_round is not None:
+                source_updates["stations_per_round"] = min(
+                    spec.source.stations_per_round, station_count
+                )
+        overrides["source"] = spec.source.with_updates(**source_updates)
     return spec.with_updates(**overrides)
 
 

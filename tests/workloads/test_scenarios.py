@@ -21,6 +21,7 @@ EXPECTED_SCENARIOS = {
     "open-steady",
     "open-ramp",
     "open-saturation",
+    "open-soak-1m",
 }
 
 
@@ -75,3 +76,13 @@ def test_scenario_shapes_match_their_stories():
     # Every closed-loop scenario stays closed-loop: no stray offered loads.
     for name, spec in SCENARIOS.items():
         assert (spec.offered is not None) == name.startswith("open-")
+    # The soak declares a million users through a bounded streaming source.
+    soak = SCENARIOS["open-soak-1m"]
+    assert soak.source is not None and soak.source.kind == "streaming"
+    assert soak.source.declared_user_count == 1_000_000
+    assert soak.source.max_resident < soak.source.station_count
+    assert soak.source.stations_per_round is not None
+    # The soak is the only source-backed catalog entry (for now); eager
+    # scenarios keep spelling their shape through the legacy fields.
+    for name, spec in SCENARIOS.items():
+        assert (spec.source is not None) == (name == "open-soak-1m")

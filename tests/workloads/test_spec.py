@@ -118,3 +118,56 @@ class TestWorkloadSpec:
             arrival=ArrivalProcess(kind="flash", base=3, burst_multiplier=4.0, burst_every=4),
         )
         assert spec.total_query_count() == 3 * 6 + 12 * 2
+
+
+class TestSourceField:
+    def _streaming(self, **overrides):
+        from repro.datagen.source import SourceSpec
+
+        fields = dict(kind="streaming", station_count=4, users_per_station=3)
+        fields.update(overrides)
+        return SourceSpec(**fields)
+
+    def test_source_must_be_a_source_spec(self):
+        with pytest.raises(ConfigurationError, match="SourceSpec"):
+            WorkloadSpec(name="demo", source={"kind": "streaming"})
+
+    def test_cohort_shape_cannot_be_spelled_twice(self):
+        # Legacy field left at its default: fine.
+        WorkloadSpec(name="demo", source=self._streaming())
+        # Any non-default legacy spelling alongside source= is rejected.
+        for legacy in (
+            dict(users_per_category=3),
+            dict(station_count=3),
+            dict(days=2),
+        ):
+            with pytest.raises(ConfigurationError, match="spelled twice"):
+                WorkloadSpec(name="demo", source=self._streaming(), **legacy)
+
+    def test_streaming_source_requires_the_uniform_mix(self):
+        from repro.workloads.spec import QueryMix
+
+        with pytest.raises(ConfigurationError, match="uniform"):
+            WorkloadSpec(
+                name="demo", source=self._streaming(), mix=QueryMix(zipf_s=1.5)
+            )
+
+    def test_effective_source_mirrors_the_legacy_fields(self):
+        spec = WorkloadSpec(name="demo", station_count=7, users_per_category=4)
+        shape = spec.effective_source()
+        assert shape.kind == "eager"
+        assert shape.station_count == 7
+        assert shape.users_per_category == 4
+        assert spec.effective_station_count == 7
+
+    def test_effective_station_count_prefers_the_source(self):
+        spec = WorkloadSpec(name="demo", source=self._streaming(station_count=9))
+        assert spec.effective_station_count == 9
+
+    def test_churn_floor_checks_the_effective_city(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="demo",
+                source=self._streaming(station_count=2),
+                churn=ChurnProcess(min_active=3),
+            )
