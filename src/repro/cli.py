@@ -46,10 +46,12 @@ from repro.evaluation.reporting import (
     format_effectiveness_table,
 )
 from repro.core.exceptions import ConfigurationError
+from repro.topology import TOPOLOGY_KINDS, TopologySpec
 from repro.utils.asciiplot import render_cdf, render_line_chart, render_table
 from repro.workloads import (
     OfferedLoad,
     RampPhase,
+    TenantSpec,
     get_scenario,
     run_workload,
     scenario_names,
@@ -260,6 +262,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Backhaul backend: sim = deterministic simulator, tcp = real "
         "localhost sockets with station worker processes (results and "
         "fault-free byte counts are transport-invariant).",
+    )
+    run.add_argument(
+        "--topology", default=None, choices=list(TOPOLOGY_KINDS),
+        help="Deployment topology override: star = the classic flat "
+        "single-hop star, two-tier = regional aggregators between the "
+        "center and the stations (see docs/topology.md).",
+    )
+    run.add_argument(
+        "--regions", type=_positive_int, default=None,
+        help="Two-tier only: number of regional aggregators; must not "
+        "exceed the station count.",
+    )
+    run.add_argument(
+        "--tenants", type=_positive_int, default=None,
+        help="Serve N independent tenant query streams round-robin within "
+        "each round (closed-loop drives only); the result reports "
+        "per-tenant precision/latency/bytes.",
     )
     run.add_argument(
         "--fault-profile", default=None, choices=list(FAULT_PROFILE_CHOICES),
@@ -545,8 +564,64 @@ def _run_workload_run(args: argparse.Namespace) -> str:
         overrides["fault_profile"] = args.fault_profile
     if args.allow_partial:
         overrides["allow_partial"] = True
+    if args.regions is not None and (args.topology or "two-tier") != "two-tier":
+        raise SystemExit(
+            "workload run: --regions applies only to --topology two-tier"
+        )
+    if args.tenants is not None:
+        if drive == "open":
+            raise SystemExit(
+                "workload run: --tenants applies only to the closed-loop "
+                "drives (simulation/session)"
+            )
+        # Synthesized tenants share the scenario's query mix; each still
+        # samples its own independent seeded stream.
+        overrides["tenants"] = tuple(
+            TenantSpec(f"tenant-{index}", spec.mix) for index in range(args.tenants)
+        )
+    if (
+        args.topology is not None
+        or args.regions is not None
+        or args.tenants is not None
+    ):
+        base_topology = spec.topology
+        kind = args.topology or (
+            base_topology.kind
+            if base_topology is not None
+            else ("two-tier" if args.regions is not None else "star")
+        )
+        stream_count = max(
+            1, len(overrides.get("tenants", spec.tenants))  # type: ignore[arg-type]
+        )
+        try:
+            if kind == "star":
+                overrides["topology"] = (
+                    None
+                    if stream_count == 1
+                    else TopologySpec(kind="star", tenant_count=stream_count)
+                )
+            else:
+                overrides["topology"] = TopologySpec(
+                    kind="two-tier",
+                    regions=(
+                        args.regions
+                        if args.regions is not None
+                        else (
+                            base_topology.regions
+                            if base_topology is not None
+                            and base_topology.is_hierarchical
+                            else 2
+                        )
+                    ),
+                    tenant_count=stream_count,
+                )
+        except ConfigurationError as error:
+            raise SystemExit(f"workload run: {error}")
     if overrides:
-        spec = spec.with_updates(**overrides)
+        try:
+            spec = spec.with_updates(**overrides)
+        except ConfigurationError as error:
+            raise SystemExit(f"workload run: {error}")
 
     result = run_workload(
         spec,
@@ -604,6 +679,10 @@ def _run_workload_run(args: argparse.Namespace) -> str:
         f"{result.round_count} rounds, {result.total_queries} queries, "
         f"{result.total_bytes} bytes"
     )
+    if spec.topology is not None and spec.topology.is_hierarchical:
+        header += f"; topology two-tier ({spec.topology.regions} regions)"
+    if spec.tenants:
+        header += f"; {len(spec.tenants)} tenants"
     if open_run and spec.offered is not None:
         header += (
             f"; offered {spec.offered.rate_qps:g} qps "
@@ -616,6 +695,14 @@ def _run_workload_run(args: argparse.Namespace) -> str:
         summary_lines.append(
             f"  {name}: mean {stat.mean:.4g}  p50 {stat.p50:.4g}  "
             f"p90 {stat.p90:.4g}  p99 {stat.p99:.4g}  max {stat.maximum:.4g}"
+        )
+    for tenant_window in result.tenants:
+        summary_lines.append(
+            f"  tenant {tenant_window.name}: {tenant_window.round_count} rounds, "
+            f"{tenant_window.query_count} queries, "
+            f"{tenant_window.total_bytes} bytes, "
+            f"precision mean {tenant_window.precision.mean:.4g}, "
+            f"latency p50 {tenant_window.latency.p50:.4g}"
         )
     for window in result.phases:
         if window.latency is None:

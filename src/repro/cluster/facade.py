@@ -61,6 +61,15 @@ from repro.distributed.simulator import (
 )
 from repro.timeseries.pattern import PatternSet
 from repro.timeseries.query import QueryPattern
+from repro.distributed.events import RoundTimeoutError
+from repro.topology.router import (
+    REGION_SEED_LABEL,
+    TRUNK_SEED_LABEL,
+    run_two_tier_round,
+    ship_two_tier_deltas,
+)
+from repro.topology.tiers import TierMap, build_tier_map
+from repro.utils.rng import derive_seed
 from repro.utils.validation import require_non_empty
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -134,6 +143,10 @@ class Cluster:
             net_seed=spec.faults.net_seed,
             allow_partial=spec.faults.allow_partial,
         )
+        if spec.topology is not None and spec.topology.is_hierarchical:
+            # The tier map is a pure function of spec + station order, so it
+            # is built once here and never snapshotted: restore() keeps it.
+            self._tier_map = build_tier_map(self._station_order, spec.topology)
 
     @classmethod
     def adopt(
@@ -232,6 +245,7 @@ class Cluster:
         self._transcripts: list[bytes] = []
         self._session: "ClusterSession | None" = None
         self._epoch = 0
+        self._tier_map: TierMap | None = None
 
     # -- introspection ---------------------------------------------------------
 
@@ -421,6 +435,17 @@ class Cluster:
         station worker processes (whose long-lived manager is created lazily
         on the first round and torn down by :meth:`close`).
         """
+        plan, net_seed = self._resolved_faults(protocol, net_seed)
+        return self._build_transport(
+            plan,
+            net_seed,
+            decode_backend=getattr(getattr(protocol, "config", None), "bit_backend", "auto"),
+        )
+
+    def _resolved_faults(
+        self, protocol: MatchingProtocol, net_seed: int | None
+    ) -> tuple[FaultPlan, int]:
+        """Resolve the effective fault plan and network seed for one round."""
         config = getattr(protocol, "config", None)
         plan = resolve_fault_plan(
             self._fault_plan
@@ -433,7 +458,24 @@ class Cluster:
                 if self._net_seed is not None
                 else getattr(config, "net_seed", 0)
             )
-        if self._transport_spec.transport == "tcp":
+        return plan, net_seed
+
+    def _build_transport(
+        self,
+        plan: FaultPlan,
+        net_seed: int,
+        *,
+        decode_backend: str,
+        force_sim: bool = False,
+    ) -> Transport:
+        """One transport on the deployment's backend (``force_sim`` overrides).
+
+        The trunk hop of a two-tier deployment always rides the simulator —
+        aggregators are co-resident with the center, a sanctioned divergence
+        documented in ``docs/topology.md`` — which is what ``force_sim``
+        expresses.
+        """
+        if self._transport_spec.transport == "tcp" and not force_sim:
             if self._tcp_manager is None:
                 # Imported lazily: the TCP stack (loop thread, servers, worker
                 # subprocess machinery) only loads for deployments that use it.
@@ -446,7 +488,7 @@ class Cluster:
             return self._tcp_manager.create_transport(
                 fault_plan=plan,
                 seed=net_seed,
-                decode_backend=getattr(config, "bit_backend", "auto"),
+                decode_backend=decode_backend,
                 allow_partial=self._allow_partial,
                 ack_timeout_s=self._transport_spec.tcp_ack_timeout_s,
                 delay_scale=self._transport_spec.tcp_delay_scale,
@@ -455,9 +497,44 @@ class Cluster:
             self._network_config,
             fault_plan=plan,
             seed=net_seed,
-            decode_backend=getattr(config, "bit_backend", "auto"),
+            decode_backend=decode_backend,
             allow_partial=self._allow_partial,
         )
+
+    def _tier_transports(
+        self, protocol: MatchingProtocol, net_seed: int | None
+    ) -> tuple[Transport, dict[str, Transport], FaultPlan, int]:
+        """Fresh per-round transports for every tier of a two-tier deployment.
+
+        Each tier derives its own seed from the round's net seed through a
+        stable label, so a hierarchical round replays exactly like a flat
+        one; a region with a degraded-profile override resolves its own
+        fault plan, every other tier inherits the deployment's.
+        """
+        assert self._tier_map is not None
+        plan, net_seed = self._resolved_faults(protocol, net_seed)
+        decode_backend = getattr(
+            getattr(protocol, "config", None), "bit_backend", "auto"
+        )
+        trunk = self._build_transport(
+            plan,
+            derive_seed(net_seed, TRUNK_SEED_LABEL),
+            decode_backend=decode_backend,
+            force_sim=True,
+        )
+        regional: dict[str, Transport] = {}
+        for region in self._tier_map.regions:
+            region_plan = (
+                resolve_fault_plan(region.fault_profile)
+                if region.fault_profile is not None
+                else plan
+            )
+            regional[region.name] = self._build_transport(
+                region_plan,
+                derive_seed(net_seed, REGION_SEED_LABEL, region.name),
+                decode_backend=decode_backend,
+            )
+        return trunk, regional, plan, net_seed
 
     def _participants(self, station_ids: Sequence[str] | None) -> list[BaseStationNode]:
         """Resolve one round's participating stations (``None`` = all of them).
@@ -542,6 +619,8 @@ class Cluster:
         options = options or RoundOptions()
         if k is None:
             k = options.k
+        if self._tier_map is not None:
+            return self._drive_two_tier(protocol, queries, k, options)
         fallbacks_before = estimated_size_fallbacks()
         participants = self._participants(options.station_ids)
         self._last_participant_count = len(participants)
@@ -662,6 +741,92 @@ class Cluster:
         )
         # A lazy round is generate → encode → match → release: transient
         # nodes go back to the source's LRU before the next round's touch set.
+        self._release_transient()
+        return outcome
+
+    def _drive_two_tier(
+        self,
+        protocol: MatchingProtocol,
+        queries: Sequence[QueryPattern],
+        k: int | None,
+        options: RoundOptions,
+    ) -> SimulationOutcome:
+        """One hierarchical round: the router runs the tree, this accounts it.
+
+        Phase structure and cost semantics live in
+        :func:`repro.topology.router.run_two_tier_round`; this wrapper keeps
+        exactly the flat engine's responsibilities — participant resolution,
+        encode/aggregate timing, storage accounting, lazy-node release — so
+        the two paths stay symmetrical.
+        """
+        fallbacks_before = estimated_size_fallbacks()
+        participants = self._participants(options.station_ids)
+        self._last_participant_count = len(participants)
+        trunk, regional, plan, net_seed = self._tier_transports(
+            protocol, options.net_seed
+        )
+        self._center.clear_inbox()
+        for station in self._nodes.values():
+            station.clear_inbox()
+
+        encode_start = time.perf_counter()
+        artifact = self._center.encode(protocol, queries)
+        encode_time = time.perf_counter() - encode_start
+
+        runner = self._runner_for(protocol)
+        routed = run_two_tier_round(
+            protocol=protocol,
+            center=self._center,
+            tier_map=self._tier_map,
+            participants=participants,
+            artifact=artifact,
+            trunk_transport=trunk,
+            regional_transports=regional,
+            runner=runner,
+        )
+
+        aggregate_start = time.perf_counter()
+        results = self._center.aggregate(protocol, routed.all_reports, k)
+        aggregate_time = time.perf_counter() - aggregate_start
+
+        artifact_bytes = _artifact_size_bytes(artifact)
+        costs = CostReport(
+            method=protocol.name,
+            downlink_bytes=routed.downlink_bytes,
+            uplink_bytes=routed.uplink_bytes,
+            message_count=routed.message_count,
+            # The center keeps its artifact plus the decoded summaries; every
+            # station still keeps one artifact copy on top of its raw data.
+            storage_center_bytes=artifact_bytes + routed.summary_payload_bytes,
+            storage_station_bytes=artifact_bytes * len(routed.active_stations),
+            encode_time_s=encode_time,
+            station_time_s=max(routed.shard_times) if routed.shard_times else 0.0,
+            aggregate_time_s=aggregate_time,
+            transmission_time_s=routed.transmission_time_s,
+            report_count=len(routed.all_reports),
+            executor=runner.executor,
+            shard_count=routed.shard_count,
+            fault_profile=plan.name,
+            net_seed=net_seed,
+            retransmit_count=routed.retransmit_count,
+            dropped_frame_count=routed.dropped_frame_count,
+            duplicate_frame_count=routed.duplicate_frame_count,
+            corrupt_frame_count=routed.corrupt_frame_count,
+            lost_station_count=routed.lost_station_count,
+            goodput_fraction=routed.goodput_fraction,
+            tiers=routed.tier_costs,
+            extra=(
+                {"estimated_size_fallbacks": float(fallback_count)}
+                if (fallback_count := estimated_size_fallbacks() - fallbacks_before)
+                else {}
+            ),
+        )
+        outcome = SimulationOutcome(
+            method=protocol.name,
+            results=results,
+            costs=costs,
+            transcript=routed.transcript,
+        )
         self._release_transient()
         return outcome
 
@@ -986,6 +1151,8 @@ class ClusterSession:
         cluster = self._cluster
         protocol = cluster._require_protocol()
         active_count = len(inner.station_ids)
+        if cluster._tier_map is not None:
+            return self._step_deltas_two_tier(options, inner, protocol, active_count)
         # Downlink is charged when the artifact changed (rotation: every
         # active station re-downloads it) and for stations that joined since
         # the last step (they receive the current artifact before matching).
@@ -1021,6 +1188,105 @@ class ClusterSession:
             lost_station_count=len(inner.dirty_station_ids),
             transcript=network.transcript,
             delivered_station_ids=tuple(delivered),
+        )
+        self._refreshed = False
+        self._newly_published.clear()
+        cluster._record(report.transcript_bytes())
+        return report
+
+    def _step_deltas_two_tier(
+        self,
+        options: RoundOptions,
+        inner: ContinuousMatchingSession,
+        protocol: MatchingProtocol,
+        active_count: int,
+    ) -> RoundReport:
+        """One delta step routed through the two-tier tree.
+
+        The dirty stations' deltas ride
+        :func:`repro.topology.router.ship_two_tier_deltas`; a station is
+        marked clean — and the center's view of it refreshed — only when its
+        region's trunk summary delivered, so a delta stranded at an
+        aggregator stays dirty and retries next step.
+        """
+        cluster = self._cluster
+        tier_map = cluster._tier_map
+        assert tier_map is not None
+        # Artifact refreshes fan down the tree: once per affected region's
+        # trunk hop, then once per affected station on the regional hop.
+        if self._refreshed:
+            affected = list(inner.station_ids)
+        else:
+            affected = [
+                sid for sid in inner.station_ids if sid in self._newly_published
+            ]
+        affected_regions = {tier_map.region_of(sid).name for sid in affected}
+        downlink_bytes = self._artifact_bytes * (
+            len(affected) + len(affected_regions)
+        )
+
+        trunk, regional, _plan, _net_seed = cluster._tier_transports(
+            protocol, options.net_seed
+        )
+        deltas = {
+            station_id: inner.reports_for(station_id)
+            for station_id in inner.dirty_station_ids
+        }
+        self._center.clear_inbox()
+        try:
+            shipped = ship_two_tier_deltas(
+                center=self._center,
+                tier_map=tier_map,
+                deltas=deltas,
+                trunk_transport=trunk,
+                regional_transports=regional,
+            )
+        except RoundTimeoutError as error:
+            # Regions whose summary landed before the trunk failed already
+            # delivered their stations' deltas: settle those exactly-once,
+            # then surface the failure like the flat path does.
+            inner.mark_delivered(
+                {
+                    station_id: len(
+                        Message(
+                            sender=station_id,
+                            recipient=self._center.node_id,
+                            kind=MessageKind.MATCH_REPORT,
+                            payload=deltas[station_id],
+                            wire_version=tier_map.region_of(station_id).wire_version,
+                        ).payload_wire()
+                    )
+                    for station_id in error.delivered_ids
+                }
+            )
+            raise
+        inner.mark_delivered(shipped.payload_bytes_by_station)
+        for station_id in shipped.delivered_station_ids:
+            self._delivered_reports[station_id] = list(
+                shipped.reports_by_station.get(station_id, [])
+            )
+        results = protocol.aggregate(
+            [
+                report
+                for reports in self._delivered_reports.values()
+                for report in reports
+            ],
+            options.k,
+        )
+        report = RoundReport(
+            round_index=cluster._round_index,
+            mode="delta",
+            results=results,
+            query_count=len(cluster.queries),
+            active_station_count=active_count,
+            downlink_bytes=downlink_bytes,
+            uplink_bytes=shipped.uplink_bytes,
+            latency_s=shipped.transmission_time_s,
+            goodput_fraction=shipped.goodput_fraction,
+            retransmit_count=shipped.retransmit_count,
+            lost_station_count=len(inner.dirty_station_ids),
+            transcript=shipped.transcript,
+            delivered_station_ids=shipped.delivered_station_ids,
         )
         self._refreshed = False
         self._newly_published.clear()

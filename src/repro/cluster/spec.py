@@ -31,6 +31,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.datagen.source import SourceSpec
 from repro.datagen.workload import DatasetSpec
 from repro.distributed.network import NetworkConfig
+from repro.topology.spec import TopologySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.protocol import MatchingProtocol
@@ -262,6 +263,9 @@ class ClusterSpec:
     transport: TransportSpec = field(default_factory=TransportSpec)
     executor: ExecutorSpec = field(default_factory=ExecutorSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    #: Tier layout; ``None`` (and ``kind="star"``) is the paper's flat star —
+    #: both drive the exact flat round engine, byte-identically.
+    topology: TopologySpec | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -292,6 +296,11 @@ class ClusterSpec:
                 isinstance(value, expected),
                 f"{attribute} must be a {expected.__name__}, got {type(value).__name__}",
             )
+        _require(
+            self.topology is None or isinstance(self.topology, TopologySpec),
+            f"topology must be a TopologySpec or None, "
+            f"got {type(self.topology).__name__}",
+        )
 
     def with_updates(self, **changes: object) -> "ClusterSpec":
         """A copy of this spec with the given fields replaced (re-validated)."""
@@ -355,4 +364,5 @@ class ClusterSpec:
             faults=FaultSpec(
                 profile=workload.fault_profile, allow_partial=workload.allow_partial
             ),
+            topology=workload.topology,
         )

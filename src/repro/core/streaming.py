@@ -12,7 +12,7 @@ re-running only the cheap aggregation step to refresh the ranking.
 from __future__ import annotations
 
 import warnings
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.protocol import MatchingProtocol, RankedResults
 from repro.timeseries.pattern import PatternSet
@@ -188,6 +188,22 @@ class ContinuousMatchingSession:
     def encoding_runs(self) -> int:
         """Number of per-station report encodings performed (encode-cache misses)."""
         return self._encoding_runs
+
+    def reports_for(self, station_id: str) -> list[object]:
+        """A copy of one station's currently cached report list."""
+        return list(self._reports_by_station.get(str(station_id), []))
+
+    def mark_delivered(self, delivered: Mapping[str, int]) -> None:
+        """Mark stations clean after an *external* transport shipped their deltas.
+
+        ``delivered`` maps station id to the payload wire bytes that reached
+        the center — the two-tier router ships deltas through its own tree of
+        transports and settles the session's dirty/shipped ledger through
+        this verb, exactly like :meth:`ship_deltas` settles the flat path.
+        """
+        for station_id, payload_bytes in delivered.items():
+            self._dirty.pop(station_id, None)
+            self._delta_bytes_shipped += int(payload_bytes)
 
     def encoded_reports_for(self, station_id: str) -> bytes:
         """The wire encoding of one station's cached reports (memoized)."""

@@ -72,12 +72,20 @@ class MessageKind(str, Enum):
 
 @dataclass(frozen=True)
 class Message:
-    """A single message with explicit sender, recipient, kind and payload."""
+    """A single message with explicit sender, recipient, kind and payload.
+
+    ``wire_version`` is the negotiated header revision the *payload frame* is
+    written at (the envelope layout never changes).  It defaults to the
+    codec's stable version, so every historical transcript keeps its bytes;
+    hierarchical deployments mid-upgrade set it per hop from
+    :func:`repro.wire.negotiate_wire_version`.
+    """
 
     sender: str
     recipient: str
     kind: MessageKind
     payload: object | None = None
+    wire_version: int = 1
 
     def to_wire(self, compress: bool = False) -> bytes:
         """The full binary encoding of this message (envelope plus payload).
@@ -130,7 +138,13 @@ class Message:
         cached = getattr(self, "_payload_wire_cache", None)
         if cached is not None and cached[0] == revision:
             return cached[1]
-        data = wire.encode_cached(self.payload)
+        if self.wire_version == wire.WIRE_VERSION:
+            data = wire.encode_cached(self.payload)
+        else:
+            # Negotiated non-default hop: the codec's identity cache only
+            # holds default-version encodings, so encode afresh (the
+            # per-message memo below still makes repeat charges O(1)).
+            data = wire.encode(self.payload, version=self.wire_version)
         object.__setattr__(self, "_payload_wire_cache", (revision, data))
         return data
 

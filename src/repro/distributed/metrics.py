@@ -13,6 +13,25 @@ from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
+class TierCost:
+    """One tier's share of a hierarchical round's traffic.
+
+    ``tier`` is ``"trunk"`` for the aggregator↔center hop or the region name
+    for an aggregator↔stations hop.  Bytes are real encoded ``DIMW`` lengths
+    charged on that tier's links, exactly like the flat ledger's totals.
+    """
+
+    tier: str
+    downlink_bytes: int = 0
+    uplink_bytes: int = 0
+    message_count: int = 0
+    retransmit_count: int = 0
+    dropped_frame_count: int = 0
+    #: Negotiated DIMW header version of this hop's payload frames.
+    wire_version: int = 1
+
+
+@dataclass(frozen=True)
 class CostReport:
     """Costs measured for one protocol run over one query batch."""
 
@@ -48,12 +67,31 @@ class CostReport:
     #: Unique delivered payload bytes over total bytes put on the wire
     #: (exactly 1.0 for a fault-free round).
     goodput_fraction: float = 1.0
+    #: Hierarchical rounds: per-tier breakdown (trunk hop first, then each
+    #: region in tier-map order).  Empty for flat-star rounds, so flat
+    #: payloads and ledgers keep their historical shape.
+    tiers: tuple[TierCost, ...] = ()
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def communication_bytes(self) -> int:
         """Total bytes exchanged between the center and the stations."""
         return self.downlink_bytes + self.uplink_bytes
+
+    @property
+    def center_ingress_bytes(self) -> int:
+        """Bytes that actually arrive at the data center's uplink ingress.
+
+        Flat star: every station report crosses the center's ingress, so this
+        is the whole uplink.  Two-tier: only the trunk hop terminates at the
+        center — the regional uplinks land at the aggregators — so this is
+        the trunk tier's uplink bytes (the quantity the hierarchy exists to
+        shrink).
+        """
+        for tier in self.tiers:
+            if tier.tier == "trunk":
+                return tier.uplink_bytes
+        return self.uplink_bytes
 
     @property
     def storage_bytes(self) -> int:

@@ -171,6 +171,18 @@ def headline_metrics(document: dict) -> list[HeadlineMetric]:
                     "source.declared_users", float(source["declared_users"]), _HIGHER
                 )
             )
+    if isinstance(payload.get("ingress"), dict) and "ratio" in payload["ingress"]:
+        # Hierarchy benchmark: the ingress ratio (flat bytes over two-tier
+        # bytes at the center's uplink) is the quantity the regional tier
+        # exists to improve; both absolute byte counts ride along so a
+        # codec-wide bloat cannot hide inside a stable ratio.
+        ingress = payload["ingress"]
+        metrics.append(HeadlineMetric("ingress.ratio", float(ingress["ratio"]), _HIGHER))
+        for key in ("flat_bytes", "two_tier_bytes"):
+            if key in ingress:
+                metrics.append(
+                    HeadlineMetric(f"ingress.{key}", float(ingress[key]), _LOWER)
+                )
     if "batch_bytes" in payload:  # wire-codec size benchmark
         for key in ("batch_bytes", "batch_bytes_zlib", "report_upload_bytes"):
             if key in payload:

@@ -1,0 +1,123 @@
+"""The tier map: a concrete partition of one station order into regions.
+
+:func:`build_tier_map` turns a :class:`~repro.topology.spec.TopologySpec`
+plus the cluster's declared station order into the routing table a
+hierarchical round runs over.  Regions are *contiguous slices* of the
+station order — this is what makes two-tier rounds ranking-identical to
+flat-star rounds: concatenating the regions' per-station report streams in
+region order reproduces exactly the flat round's global station order, so
+the aggregation phase sees the same input sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.topology.spec import TopologySpec
+from repro.wire import WIRE_VERSION, negotiate_wire_version
+
+
+@dataclass(frozen=True)
+class Region:
+    """One regional slice: an aggregator and the stations behind it."""
+
+    name: str
+    aggregator_id: str
+    #: The region's stations, a contiguous slice of the cluster order.
+    station_ids: tuple[str, ...]
+    #: Fault profile of the regional hop; ``None`` inherits the cluster plan.
+    fault_profile: str | None = None
+    #: Negotiated DIMW header version of the regional hop's payload frames.
+    wire_version: int = WIRE_VERSION
+
+
+@dataclass(frozen=True)
+class TierMap:
+    """The full routing table of a two-tier deployment."""
+
+    regions: tuple[Region, ...]
+    #: Negotiated version of the aggregator↔center trunk hop.
+    trunk_wire_version: int = WIRE_VERSION
+
+    def region_of(self, station_id: str) -> Region:
+        """The region serving ``station_id``."""
+        for region in self.regions:
+            if station_id in region.station_ids:
+                return region
+        raise KeyError(f"station {station_id!r} belongs to no region")
+
+    @property
+    def aggregator_ids(self) -> tuple[str, ...]:
+        """Every aggregator id, in region order."""
+        return tuple(region.aggregator_id for region in self.regions)
+
+
+def region_slices(station_count: int, spec: TopologySpec) -> list[tuple[int, int]]:
+    """The ``[start, stop)`` slice of each region over ``station_count`` stations.
+
+    Balanced mode spreads the remainder over the leading regions (sizes
+    differ by at most one); explicit ``stations_per_region`` cuts fixed-width
+    slices, with the last region taking the remainder.  Raises
+    :class:`ConfigurationError` when the partition cannot cover the station
+    order with the declared region count.
+    """
+    regions = spec.regions
+    if regions > station_count:
+        raise ConfigurationError(
+            f"topology declares {regions} regions but the deployment has only "
+            f"{station_count} stations; regions must not exceed stations"
+        )
+    width = spec.stations_per_region
+    if width is not None:
+        if (regions - 1) * width >= station_count or regions * width < station_count:
+            raise ConfigurationError(
+                f"{regions} regions of {width} stations cannot cover "
+                f"{station_count} stations exactly; adjust regions or "
+                f"stations_per_region"
+            )
+        bounds = [min(index * width, station_count) for index in range(regions + 1)]
+        bounds[-1] = station_count
+    else:
+        base, remainder = divmod(station_count, regions)
+        bounds = [0]
+        for index in range(regions):
+            bounds.append(bounds[-1] + base + (1 if index < remainder else 0))
+    return [(bounds[index], bounds[index + 1]) for index in range(regions)]
+
+
+def build_tier_map(
+    station_order: Sequence[str], spec: TopologySpec
+) -> TierMap:
+    """Partition ``station_order`` into the spec's regional tier.
+
+    Each region's hop version is negotiated between the version the upgraded
+    components write and what the region's stations can read (legacy regions
+    advertise only version 1); the trunk hop runs at the upgraded version,
+    since center and aggregators upgrade together.
+    """
+    if not spec.is_hierarchical:
+        raise ConfigurationError(
+            f"a {spec.kind!r} topology has no tier map; only two-tier "
+            "deployments route through regions"
+        )
+    order = [str(station_id) for station_id in station_order]
+    regions = []
+    for index, (start, stop) in enumerate(region_slices(len(order), spec)):
+        name = spec.region_name(index)
+        advertised = [spec.wire_version]
+        if name in spec.legacy_regions:
+            advertised.append(WIRE_VERSION)
+        regions.append(
+            Region(
+                name=name,
+                aggregator_id=f"aggregator-{index}",
+                station_ids=tuple(order[start:stop]),
+                fault_profile=(
+                    spec.degraded_profile if name in spec.degraded_regions else None
+                ),
+                wire_version=negotiate_wire_version(advertised),
+            )
+        )
+    return TierMap(regions=tuple(regions), trunk_wire_version=spec.wire_version)

@@ -1,0 +1,102 @@
+"""Wire-version skew across a rolling upgrade of a two-tier deployment.
+
+A codec upgrade never lands everywhere at once: stations re-image region by
+region while the center and aggregators (one fleet, upgraded together) are
+already writing the new header revision.  :class:`RollingUpgrade` models
+that window as a deterministic schedule — after round ``r`` the first
+``ceil(N * r / duration)`` stations of the canonical order run the new
+build — and answers the only question the router needs: *which version does
+each hop speak this round?*  The answer is always
+:func:`repro.wire.negotiate_wire_version` over what the hop's parties
+advertise, i.e. the lowest common version, so a region with even one
+pre-upgrade station keeps its whole regional hop on the old revision while
+the trunk above it already runs the new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.topology.tiers import Region, TierMap
+from repro.wire import SUPPORTED_WIRE_VERSIONS, negotiate_wire_version
+
+
+@dataclass(frozen=True)
+class RollingUpgrade:
+    """A deterministic station-by-station codec rollout.
+
+    ``duration_rounds`` rounds after the rollout starts, every station runs
+    ``to_version``; before that, upgrades proceed in canonical station order
+    (the first stations of the order re-image first).  Round 0 is the state
+    *before* anything upgraded.
+    """
+
+    station_order: tuple[str, ...]
+    from_version: int = 1
+    to_version: int = 2
+    duration_rounds: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "station_order", tuple(str(s) for s in self.station_order)
+        )
+        for field_name in ("from_version", "to_version"):
+            version = getattr(self, field_name)
+            if version not in SUPPORTED_WIRE_VERSIONS:
+                raise ConfigurationError(
+                    f"{field_name} must be one of {list(SUPPORTED_WIRE_VERSIONS)}, "
+                    f"got {version!r}"
+                )
+        if self.from_version > self.to_version:
+            raise ConfigurationError(
+                f"an upgrade must not downgrade: from_version "
+                f"{self.from_version} > to_version {self.to_version}"
+            )
+        if not isinstance(self.duration_rounds, int) or self.duration_rounds < 1:
+            raise ConfigurationError(
+                f"duration_rounds must be a positive integer, "
+                f"got {self.duration_rounds!r}"
+            )
+
+    def upgraded_count(self, round_index: int) -> int:
+        """How many stations run ``to_version`` at the start of ``round_index``."""
+        if round_index <= 0:
+            return 0
+        if round_index >= self.duration_rounds:
+            return len(self.station_order)
+        total = len(self.station_order)
+        return -(-total * round_index // self.duration_rounds)  # ceil division
+
+    def versions_at(self, round_index: int) -> dict[str, int]:
+        """Per-station advertised version at the start of ``round_index``."""
+        upgraded = self.upgraded_count(round_index)
+        return {
+            station_id: (self.to_version if index < upgraded else self.from_version)
+            for index, station_id in enumerate(self.station_order)
+        }
+
+    def negotiated_for_region(self, round_index: int, region: Region) -> int:
+        """The version ``region``'s hop speaks this round.
+
+        The aggregator (already on ``to_version``) must be readable by every
+        station behind it, so the hop negotiates down to the region's lowest
+        advertised version.
+        """
+        versions = self.versions_at(round_index)
+        advertised = [self.to_version]
+        advertised.extend(versions[station_id] for station_id in region.station_ids)
+        return negotiate_wire_version(advertised)
+
+    def tier_map_at(self, round_index: int, tier_map: TierMap) -> TierMap:
+        """``tier_map`` with every hop version re-negotiated for this round."""
+        from dataclasses import replace
+
+        regions = tuple(
+            replace(
+                region,
+                wire_version=self.negotiated_for_region(round_index, region),
+            )
+            for region in tier_map.regions
+        )
+        return replace(tier_map, regions=regions, trunk_wire_version=self.to_version)

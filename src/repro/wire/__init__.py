@@ -11,12 +11,15 @@ and storage cost model; see :mod:`repro.wire.codec` for the format.
 from repro.wire.codec import (
     FLAG_ZLIB,
     MAGIC,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    WIRE_VERSION_EXT,
     decode,
     encode,
     encode_cached,
     encoded_size,
     message_envelope_size,
+    negotiate_wire_version,
     object_revision,
 )
 from repro.wire.errors import UnsupportedWireTypeError, WireFormatError
@@ -33,7 +36,10 @@ from repro.wire.stream import (
 __all__ = [
     "FLAG_ZLIB",
     "MAGIC",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
+    "WIRE_VERSION_EXT",
+    "negotiate_wire_version",
     "decode",
     "encode",
     "encode_cached",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import weakref
 import zlib
 from fractions import Fraction
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.bloom.backend import iter_set_bits_in_bytes
 from repro.bloom.standard import BloomFilter
@@ -57,9 +57,40 @@ from repro.wire.values import encode_value, read_value, write_value
 
 #: Magic bytes opening every encoded artifact ("DI-Matching Wire").
 MAGIC = b"DIMW"
-#: Current wire-format version.  Bump on any incompatible layout change; the
-#: decoder rejects versions it does not know.
+#: Default wire-format version: every writer emits it unless told otherwise,
+#: so all historical byte transcripts stay stable.
 WIRE_VERSION = 1
+
+#: The forward-compatible header revision: identical to version 1 except that
+#: a uvarint-prefixed *extension block* sits between the 7-byte header and the
+#: (possibly compressed) body.  Current writers emit an empty block; readers
+#: skip whatever length the writer declared, which is what lets a future
+#: revision append header fields without breaking version-2 readers.
+WIRE_VERSION_EXT = 2
+
+#: Every version this build can read and write, ascending.
+SUPPORTED_WIRE_VERSIONS = (WIRE_VERSION, WIRE_VERSION_EXT)
+
+
+def negotiate_wire_version(advertised: "Iterable[int]") -> int:
+    """Pick the wire version a mixed-build hop must speak: the lowest advertised.
+
+    During a rolling upgrade an aggregator writes frames that *every* station
+    in its region must decode, so the hop runs at the minimum of the versions
+    the parties advertise.  Raises :class:`WireFormatError` when the set is
+    empty or contains a version this build cannot speak (a peer advertising
+    an unknown version cannot be safely downgraded to).
+    """
+    versions = sorted(set(advertised))
+    if not versions:
+        raise WireFormatError("cannot negotiate a wire version from an empty set")
+    unknown = [v for v in versions if v not in SUPPORTED_WIRE_VERSIONS]
+    if unknown:
+        raise WireFormatError(
+            f"cannot negotiate with unsupported wire version(s) {unknown} "
+            f"(this build speaks {list(SUPPORTED_WIRE_VERSIONS)})"
+        )
+    return versions[0]
 
 #: Header flag: the body (everything after the 7-byte header) is zlib-compressed.
 FLAG_ZLIB = 0x01
@@ -488,6 +519,9 @@ def _read_message_body(reader: ByteReader, backend: str):
         recipient=recipient,
         kind=MessageKind(kind_names[kind_code]),
         payload=payload,
+        # Recover the hop's negotiated payload-frame version so a decoded
+        # message compares equal to the one the sender built.
+        wire_version=payload_block[4] if len(payload_block) > 4 else WIRE_VERSION,
     )
 
 
@@ -607,14 +641,34 @@ def _read_body(tag: int, reader: ByteReader, backend: str) -> object:
 # -- public API ------------------------------------------------------------------
 
 
-def encode(obj: object, *, compress: bool = False) -> bytes:
+def encode(
+    obj: object,
+    *,
+    compress: bool = False,
+    version: int = WIRE_VERSION,
+    extension: bytes = b"",
+) -> bytes:
     """Encode a protocol artifact into its canonical wire bytes.
 
     ``compress=True`` sets the zlib flag and deflates the body (the header
     stays uncompressed so the type remains readable without inflating).
+    ``version`` selects the header revision; the default keeps every
+    historical transcript byte-stable.  Version-2 frames carry an
+    ``extension`` block between header and body (uncompressed, so it stays
+    readable without inflating); readers skip unrecognized extension bytes.
     Raises :class:`UnsupportedWireTypeError` for objects outside the protocol
     vocabulary.
     """
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        raise WireFormatError(
+            f"cannot write wire version {version} "
+            f"(this build writes {list(SUPPORTED_WIRE_VERSIONS)})"
+        )
+    if extension and version < WIRE_VERSION_EXT:
+        raise WireFormatError(
+            f"wire version {version} has no extension block; use version "
+            f"{WIRE_VERSION_EXT} or later"
+        )
     tag, writer = _dispatch(obj)
     body = bytearray()
     writer(body, obj)
@@ -623,17 +677,32 @@ def encode(obj: object, *, compress: bool = False) -> bytes:
     if compress:
         flags |= FLAG_ZLIB
         payload = zlib.compress(payload, level=6)
-    return MAGIC + bytes((WIRE_VERSION, flags, tag)) + payload
+    frame = bytearray(MAGIC)
+    frame.append(version)
+    frame.append(flags)
+    frame.append(tag)
+    if version >= WIRE_VERSION_EXT:
+        write_uvarint(frame, len(extension))
+        frame += extension
+    frame += payload
+    return bytes(frame)
 
 
-def decode(data: "bytes | bytearray | memoryview", *, backend: str = "auto") -> object:
+def decode(
+    data: "bytes | bytearray | memoryview",
+    *,
+    backend: str = "auto",
+    max_version: int = SUPPORTED_WIRE_VERSIONS[-1],
+) -> object:
     """Decode wire bytes back into the artifact they describe.
 
     ``backend`` selects the local bit-storage backend decoded filters are
     materialized on (and is restored into ``DIMatchingConfig.bit_backend``);
-    it never affects which bytes are accepted.  The buffer may be any
-    bytes-like object; the uncompressed body is read through a zero-copy view
-    rather than sliced out of the frame.
+    it never affects which bytes are accepted.  ``max_version`` caps the
+    header revisions this call accepts — passing ``1`` makes the call behave
+    like a pre-upgrade build, which is how version-skew tests simulate old
+    readers.  The buffer may be any bytes-like object; the uncompressed body
+    is read through a zero-copy view rather than sliced out of the frame.
     """
     if len(data) < _HEADER_SIZE:
         raise WireFormatError(
@@ -642,13 +711,21 @@ def decode(data: "bytes | bytearray | memoryview", *, backend: str = "auto") -> 
     if data[:4] != MAGIC:
         raise WireFormatError(f"bad magic {bytes(data[:4])!r}, expected {MAGIC!r}")
     version = data[4]
-    if version != WIRE_VERSION:
-        raise WireFormatError(f"unsupported wire version {version} (this build reads {WIRE_VERSION})")
+    if version not in SUPPORTED_WIRE_VERSIONS or version > max_version:
+        readable = [v for v in SUPPORTED_WIRE_VERSIONS if v <= max_version]
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build reads {readable})"
+        )
     flags = data[5]
     if flags & ~_KNOWN_FLAGS:
         raise WireFormatError(f"unknown header flags 0x{flags:02x}")
     tag = data[6]
     body: "bytes | memoryview" = memoryview(data)[_HEADER_SIZE:]
+    if version >= WIRE_VERSION_EXT:
+        header_reader = ByteReader(body)
+        extension_size = header_reader.uvarint()
+        header_reader.raw(extension_size)  # opaque to this build: skip it
+        body = body[header_reader.offset :]
     if flags & FLAG_ZLIB:
         try:
             body = zlib.decompress(body)

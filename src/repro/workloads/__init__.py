@@ -15,6 +15,7 @@ from repro.workloads.result import (
     RoundMetrics,
     StatSummary,
     StreamingStat,
+    TenantWindow,
     WorkloadAggregator,
     WorkloadResult,
 )
@@ -30,6 +31,7 @@ from repro.workloads.spec import (
     OfferedLoad,
     QueryMix,
     RampPhase,
+    TenantSpec,
     WorkloadSpec,
 )
 
@@ -45,6 +47,8 @@ __all__ = [
     "SourceSpec",
     "StatSummary",
     "StreamingStat",
+    "TenantSpec",
+    "TenantWindow",
     "WorkloadAggregator",
     "WorkloadResult",
     "WorkloadSpec",

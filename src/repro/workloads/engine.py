@@ -307,6 +307,12 @@ def run_workload(
             "the open drive needs an arrival model: set WorkloadSpec.offered "
             "to an OfferedLoad (target QPS + ramp phases)"
         )
+    if drive == "open" and spec.tenants:
+        raise ValueError(
+            "tenant multiplexing is a closed-loop feature: the open drive "
+            "admits one arrival stream, so drop tenants or use the "
+            "simulation/session drives"
+        )
     cluster_spec = ClusterSpec.from_workload(
         spec,
         executor=executor,
@@ -335,14 +341,34 @@ def run_workload(
         # executor runner; recording the knob there would misstate the run.
         executor=(executor or "serial") if drive != "session" else "serial",
     )
+    tenant_providers: dict[str, _EagerProvider] | None = None
+    if spec.tenants:
+        # Tenants require an eager source (spec validation), so ``dataset``
+        # is bound.  Each tenant samples through a tenant-qualified spec name
+        # — its hot-set and per-round query streams derive from labels no
+        # other tenant (and no single-stream run) shares.
+        tenant_providers = {
+            tenant.name: _EagerProvider(
+                spec.with_updates(name=f"{spec.name}#{tenant.name}", mix=tenant.mix),
+                dataset,
+            )
+            for tenant in spec.tenants
+        }
     with cluster_cm as cluster:
         session = cluster.open_session(
             mode="deltas" if drive == "session" else "rounds"
         )
         if drive == "simulation":
-            _drive_rounds(spec, provider, cluster, session, aggregator)
+            if tenant_providers is not None:
+                _drive_rounds_tenants(
+                    spec, tenant_providers, cluster, session, aggregator
+                )
+            else:
+                _drive_rounds(spec, provider, cluster, session, aggregator)
         elif drive == "open":
             _drive_open(spec, provider, cluster, session, aggregator)
+        elif tenant_providers is not None:
+            _drive_deltas_tenants(spec, tenant_providers, cluster, session, aggregator)
         else:
             _drive_deltas(spec, provider, cluster, session, aggregator)
     aggregator.set_source_stats(provider.stats())
@@ -399,6 +425,150 @@ def _drive_rounds(
             ),
             report.transcript,
         )
+
+
+def _drive_rounds_tenants(
+    spec: WorkloadSpec,
+    providers: "dict[str, _EagerProvider]",
+    cluster: Cluster,
+    session: ClusterSession,
+    aggregator: WorkloadAggregator,
+) -> None:
+    """Round-robin tenant multiplexing over full wire rounds.
+
+    Every macro-round serves each tenant once, in declaration order: the
+    tenant's batch is (re-)subscribed, one wire round runs, and the round's
+    metrics are attributed to that tenant.  Churn advances once per
+    macro-round and is reported on its first slot, so the per-tenant byte and
+    query totals partition the run's totals exactly.
+    """
+    churn = _ChurnState(spec, cluster.station_ids)
+    queries: dict[str, list[QueryPattern]] = {t.name: [] for t in spec.tenants}
+    truth: dict[str, frozenset[str]] = {t.name: frozenset() for t in spec.tenants}
+    round_index = 0
+    for macro_round in range(spec.rounds):
+        joined, left = churn.step(macro_round)
+        refreshed = spec.arrival.refreshes_at(macro_round)
+        for slot, tenant in enumerate(spec.tenants):
+            provider = providers[tenant.name]
+            if refreshed:
+                queries[tenant.name] = provider.sample(
+                    macro_round, spec.arrival.count_at(macro_round)
+                )
+                truth[tenant.name] = provider.truth(queries[tenant.name])
+            # One physical deployment serves all tenants: each slot rotates
+            # the artifact to its tenant's batch before the round runs.
+            session.subscribe(queries[tenant.name])
+            round_stations = provider.round_station_ids(macro_round, churn.active)
+            report = session.step(
+                RoundOptions(
+                    station_ids=round_stations,
+                    net_seed=_round_net_seed(spec, round_index),
+                    k=len(truth[tenant.name]),
+                )
+            )
+            metrics = evaluate_retrieval(
+                tuple(report.retrieved_user_ids), truth[tenant.name]
+            )
+            aggregator.add_round(
+                RoundMetrics(
+                    round_index=round_index,
+                    query_count=len(queries[tenant.name]),
+                    active_station_count=len(round_stations),
+                    joined=joined if slot == 0 else (),
+                    left=left if slot == 0 else (),
+                    downlink_bytes=report.downlink_bytes,
+                    uplink_bytes=report.uplink_bytes,
+                    precision=metrics.precision,
+                    recall=metrics.recall,
+                    latency_s=report.latency_s,
+                    goodput_fraction=report.goodput_fraction,
+                    retransmit_count=report.retransmit_count,
+                    lost_station_count=report.lost_station_count,
+                    batch_refreshed=refreshed,
+                    compute_time_s=report.costs.computation_time_s,
+                    tenant=tenant.name,
+                ),
+                report.transcript,
+            )
+            round_index += 1
+
+
+def _drive_deltas_tenants(
+    spec: WorkloadSpec,
+    providers: "dict[str, _EagerProvider]",
+    cluster: Cluster,
+    session: ClusterSession,
+    aggregator: WorkloadAggregator,
+) -> None:
+    """Round-robin tenant multiplexing over one continuous delta session.
+
+    Rotating to a tenant's batch re-encodes the artifact and re-matches every
+    station (all stations go dirty), so each slot ships a full delta set —
+    the honest cost of serving several independent query streams through one
+    shared session.  Churn is applied on each macro-round's first slot.
+    """
+    churn = _ChurnState(spec, cluster.station_ids)
+    queries: dict[str, list[QueryPattern]] = {t.name: [] for t in spec.tenants}
+    truth: dict[str, frozenset[str]] = {t.name: frozenset() for t in spec.tenants}
+    started = False
+    round_index = 0
+    for macro_round in range(spec.rounds):
+        joined, left = churn.step(macro_round)
+        refreshed = spec.arrival.refreshes_at(macro_round)
+        for slot, tenant in enumerate(spec.tenants):
+            provider = providers[tenant.name]
+            if refreshed:
+                queries[tenant.name] = provider.sample(
+                    macro_round, spec.arrival.count_at(macro_round)
+                )
+                truth[tenant.name] = provider.truth(queries[tenant.name])
+            if not started:
+                session.subscribe(queries[tenant.name])
+                for station_id in churn.active:
+                    session.publish(station_id, provider.patterns_at(station_id))
+                started = True
+            else:
+                if slot == 0:
+                    # Departures first, exactly like the single-stream drive.
+                    for station_id in left:
+                        session.retire(station_id)
+                session.subscribe(queries[tenant.name])
+                if slot == 0:
+                    for station_id in joined:
+                        session.publish(
+                            station_id, provider.patterns_at(station_id)
+                        )
+            report = session.step(
+                RoundOptions(
+                    net_seed=_round_net_seed(spec, round_index),
+                    k=len(truth[tenant.name]),
+                )
+            )
+            metrics = evaluate_retrieval(
+                tuple(report.retrieved_user_ids), truth[tenant.name]
+            )
+            aggregator.add_round(
+                RoundMetrics(
+                    round_index=round_index,
+                    query_count=len(queries[tenant.name]),
+                    active_station_count=len(churn.active),
+                    joined=joined if slot == 0 else (),
+                    left=left if slot == 0 else (),
+                    downlink_bytes=report.downlink_bytes,
+                    uplink_bytes=report.uplink_bytes,
+                    precision=metrics.precision,
+                    recall=metrics.recall,
+                    latency_s=report.latency_s,
+                    goodput_fraction=report.goodput_fraction,
+                    retransmit_count=report.retransmit_count,
+                    lost_station_count=report.lost_station_count,
+                    batch_refreshed=refreshed,
+                    tenant=tenant.name,
+                ),
+                report.transcript,
+            )
+            round_index += 1
 
 
 def _phase_arrivals(

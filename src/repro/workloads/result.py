@@ -173,6 +173,10 @@ class RoundMetrics:
     phase: str = ""
     arrival_s: float = 0.0
     queue_delay_s: float = 0.0
+    #: Multi-tenant runs: which tenant's query stream this round served.
+    #: Empty on single-stream workloads and then stripped from the payload,
+    #: so pre-tenant baselines stay byte-identical.
+    tenant: str = ""
 
     @property
     def total_bytes(self) -> int:
@@ -193,6 +197,44 @@ _STREAMED_QUANTITIES = {
 #: stripped from closed-loop payload rows so those stay byte-identical to the
 #: committed benchmark baselines.
 _OPEN_LOOP_FIELDS = ("phase", "arrival_s", "queue_delay_s")
+
+
+@dataclass(frozen=True)
+class TenantWindow:
+    """Frozen per-tenant slice of a multi-tenant run.
+
+    One window per :class:`~repro.workloads.spec.TenantSpec`, in declaration
+    order.  The byte and query totals partition the run's totals exactly —
+    every round belongs to exactly one tenant — which is the isolation
+    invariant the tenant accounting suite pins.
+    """
+
+    name: str
+    round_count: int
+    query_count: int
+    downlink_bytes: int
+    uplink_bytes: int
+    precision: StatSummary
+    recall: StatSummary
+    latency: StatSummary
+
+    @property
+    def total_bytes(self) -> int:
+        """Downlink plus uplink bytes across the tenant's rounds."""
+        return self.downlink_bytes + self.uplink_bytes
+
+    def to_payload(self) -> dict:
+        """JSON-ready shape embedded in the workload payload's ``tenants``."""
+        return {
+            "name": self.name,
+            "round_count": self.round_count,
+            "query_count": self.query_count,
+            "downlink_bytes": self.downlink_bytes,
+            "uplink_bytes": self.uplink_bytes,
+            "precision": asdict(self.precision),
+            "recall": asdict(self.recall),
+            "latency": asdict(self.latency),
+        }
 
 
 @dataclass(frozen=True)
@@ -244,6 +286,9 @@ class WorkloadResult:
     cumulative: dict[str, StatSummary]
     transcripts: tuple[bytes, ...] = field(repr=False, default=())
     phases: tuple[PhaseWindow, ...] = ()
+    #: Multi-tenant runs: one window per tenant, in declaration order.  Empty
+    #: for single-stream workloads, and then absent from the payload.
+    tenants: tuple[TenantWindow, ...] = ()
     #: Streaming-source runs: the source's residency accounting (declared
     #: users, peak resident station batches, evictions).  ``None`` for eager
     #: datasets, and then absent from the payload so committed closed-loop
@@ -285,6 +330,8 @@ class WorkloadResult:
         """The JSON-ready shape written as ``BENCH_workload_<scenario>.json``."""
         open_loop = bool(self.phases)
         skip = ("compute_time_s",) if open_loop else ("compute_time_s",) + _OPEN_LOOP_FIELDS
+        if not self.tenants:
+            skip = skip + ("tenant",)
         payload = {
             "scenario": self.scenario,
             "seed": self.seed,
@@ -309,6 +356,8 @@ class WorkloadResult:
         }
         if open_loop:
             payload["phases"] = [window.to_payload() for window in self.phases]
+        if self.tenants:
+            payload["tenants"] = [window.to_payload() for window in self.tenants]
         if self.source_stats is not None:
             payload["source"] = dict(self.source_stats)
         return payload
@@ -342,6 +391,7 @@ class WorkloadAggregator:
         self._transcripts: list[bytes] = []
         self._streams = {name: StreamingStat() for name in _STREAMED_QUANTITIES}
         self._phases: list[dict] = []
+        self._tenants: dict[str, dict] = {}
         self._source_stats: "dict[str, object] | None" = None
 
     def set_source_stats(self, stats: "dict[str, object] | None") -> None:
@@ -395,6 +445,26 @@ class WorkloadAggregator:
             self._transcripts.append(transcript_to_bytes(transcript))
         for name, extract in _STREAMED_QUANTITIES.items():
             self._streams[name].push(extract(metrics))
+        if metrics.tenant:
+            window = self._tenants.setdefault(
+                metrics.tenant,
+                {
+                    "round_count": 0,
+                    "query_count": 0,
+                    "downlink_bytes": 0,
+                    "uplink_bytes": 0,
+                    "precision": StreamingStat(),
+                    "recall": StreamingStat(),
+                    "latency": StreamingStat(),
+                },
+            )
+            window["round_count"] += 1
+            window["query_count"] += metrics.query_count
+            window["downlink_bytes"] += metrics.downlink_bytes
+            window["uplink_bytes"] += metrics.uplink_bytes
+            window["precision"].push(metrics.precision)
+            window["recall"].push(metrics.recall)
+            window["latency"].push(metrics.latency_s)
         if self._phases:
             window = self._phases[-1]
             window["arrival_count"] += 1
@@ -431,6 +501,21 @@ class WorkloadAggregator:
             )
         return tuple(windows)
 
+    def _frozen_tenants(self) -> tuple[TenantWindow, ...]:
+        return tuple(
+            TenantWindow(
+                name=name,
+                round_count=window["round_count"],
+                query_count=window["query_count"],
+                downlink_bytes=window["downlink_bytes"],
+                uplink_bytes=window["uplink_bytes"],
+                precision=window["precision"].summary(),
+                recall=window["recall"].summary(),
+                latency=window["latency"].summary(),
+            )
+            for name, window in self._tenants.items()
+        )
+
     def finish(self) -> WorkloadResult:
         """Freeze everything into a :class:`WorkloadResult`."""
         if not self._rounds:
@@ -446,5 +531,6 @@ class WorkloadAggregator:
             cumulative=self.snapshot(),
             transcripts=tuple(self._transcripts),
             phases=self._frozen_phases(),
+            tenants=self._frozen_tenants(),
             source_stats=self._source_stats,
         )

@@ -13,12 +13,14 @@ here automatically enrolls it in all three.
 from __future__ import annotations
 
 from repro.datagen.source import SourceSpec
+from repro.topology.spec import TopologySpec
 from repro.workloads.spec import (
     ArrivalProcess,
     ChurnProcess,
     OfferedLoad,
     QueryMix,
     RampPhase,
+    TenantSpec,
     WorkloadSpec,
 )
 
@@ -207,5 +209,54 @@ register_scenario(
             stations_per_round=12,
         ),
         seed=1212,
+    )
+)
+
+# -- hierarchical (two-tier) scenarios ---------------------------------------
+#
+# The two-tier catalog entries keep ``regions=2`` so the CI smoke's 3-station
+# tiny scale still partitions cleanly; at catalog scale the balanced slicing
+# puts 3 stations behind one aggregator and 2 behind the other.
+
+register_scenario(
+    WorkloadSpec(
+        name="hier-steady",
+        description="The steady-state shape routed through a two-tier topology: two regional aggregators dedupe and re-encode their stations' reports, so the trunk carries one summary per region while rankings stay identical to the flat star.",
+        rounds=10,
+        arrival=ArrivalProcess(kind="constant", base=4),
+        topology=TopologySpec(kind="two-tier", regions=2),
+        seed=1213,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="hier-degraded-region",
+        description="A two-tier deployment where one region's last-mile hop runs the lossy fault profile while the other region and the trunk stay clean — regional faults stay contained behind their aggregator instead of degrading the whole star.",
+        rounds=10,
+        arrival=ArrivalProcess(kind="constant", base=3),
+        topology=TopologySpec(
+            kind="two-tier",
+            regions=2,
+            degraded_regions=("region-1",),
+            degraded_profile="lossy",
+        ),
+        allow_partial=True,
+        seed=1214,
+    )
+)
+
+register_scenario(
+    WorkloadSpec(
+        name="multi-tenant-skew",
+        description="Two tenants multiplexed round-robin over one two-tier deployment: a Zipf-skewed 'hot' tenant and a uniform 'broad' tenant each run an independent seeded query stream, with per-tenant precision/latency/byte accounting that partitions the totals exactly.",
+        rounds=8,
+        arrival=ArrivalProcess(kind="constant", base=3),
+        tenants=(
+            TenantSpec("hot", QueryMix(zipf_s=1.5)),
+            TenantSpec("broad", QueryMix()),
+        ),
+        topology=TopologySpec(kind="two-tier", regions=2, tenant_count=2),
+        seed=1215,
     )
 )

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.config import FAULT_PROFILE_CHOICES
 from repro.core.exceptions import ConfigurationError
 from repro.datagen.source import SourceSpec
+from repro.topology.spec import TopologySpec
 from repro.utils.validation import require_non_negative, require_positive
 
 #: Query arrival shapes over the rounds of a workload.
@@ -278,6 +279,33 @@ class QueryMix:
 
 
 @dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's slice of a multi-tenant workload.
+
+    Each tenant runs its own independent :class:`QueryMix` stream against the
+    shared deployment: per macro-round the engine serves the tenants
+    round-robin in declaration order, each slot sampling from the tenant's
+    own seeded hot-set stream (labelled by the tenant name, so the streams
+    never correlate).  The result reports per-tenant precision, latency and
+    byte totals whose sums equal the run's totals exactly — the accounting
+    invariant the tenant suite pins.
+    """
+
+    name: str
+    mix: QueryMix = field(default_factory=QueryMix)
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            f"tenant name must be a non-empty string, got {self.name!r}",
+        )
+        _require(
+            isinstance(self.mix, QueryMix),
+            f"tenant mix must be a QueryMix, got {self.mix!r}",
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """One declarative, fully-seeded traffic scenario.
 
@@ -310,7 +338,16 @@ class WorkloadSpec:
     #: shape twice is a :class:`ConfigurationError`, not a precedence rule).
     #: ``kind="streaming"`` sources drive the bounded-memory lazy path.
     source: SourceSpec | None = None
+    #: Multi-tenant multiplexing: when non-empty, every macro-round serves
+    #: each tenant once (in declaration order) from its own query-mix stream,
+    #: and the result carries per-tenant accounting.  Empty means the classic
+    #: single-stream workload, byte-identical to the pre-tenant engine.
+    tenants: tuple[TenantSpec, ...] = ()
     # -- environment pairing ---------------------------------------------------
+    #: Deployment topology the compiled cluster runs under; ``None`` is the
+    #: classic flat star.  A two-tier spec routes every round through
+    #: regional aggregators (see ``docs/topology.md``).
+    topology: "TopologySpec | None" = None
     method: str = "wbf"
     fault_profile: str = "none"
     allow_partial: bool = False
@@ -382,6 +419,40 @@ class WorkloadSpec:
             self.offered is None or isinstance(self.offered, OfferedLoad),
             f"offered must be an OfferedLoad or None, got {self.offered!r}",
         )
+        _require(
+            isinstance(self.tenants, tuple)
+            and all(isinstance(tenant, TenantSpec) for tenant in self.tenants),
+            f"tenants must be a tuple of TenantSpec, got {self.tenants!r}",
+        )
+        tenant_names = [tenant.name for tenant in self.tenants]
+        _require(
+            len(tenant_names) == len(set(tenant_names)),
+            f"tenant names must be unique, got {tenant_names!r}",
+        )
+        if self.tenants:
+            _require(
+                self.source is None,
+                "tenant query mixes need the materialized dataset path: "
+                "sources sample exemplars uniformly, so declare the city "
+                "through the legacy dataset-shape fields instead of source=",
+            )
+        _require(
+            self.topology is None or isinstance(self.topology, TopologySpec),
+            f"topology must be a TopologySpec or None, got {self.topology!r}",
+        )
+        if self.topology is not None:
+            _require(
+                self.topology.regions <= self.effective_station_count,
+                f"topology regions ({self.topology.regions}) must not exceed "
+                f"stations ({self.effective_station_count})",
+            )
+            declared_streams = max(1, len(self.tenants))
+            _require(
+                self.topology.tenant_count == declared_streams,
+                f"tenant/mix mismatch: topology declares "
+                f"{self.topology.tenant_count} tenant(s) but the workload "
+                f"provides {declared_streams} query-mix stream(s)",
+            )
 
     def effective_source(self) -> SourceSpec:
         """The city declaration: ``source`` or the legacy fields lifted into one."""

@@ -1,0 +1,58 @@
+"""Shared fixtures of the hierarchical-topology suites.
+
+One small synthetic city, one query batch, and a spec factory whose sim
+deployments differ from the flat baseline in exactly one field —
+``ClusterSpec.topology`` — so every divergence a test observes is
+attributable to the regional tier alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, ProtocolSpec
+from repro.datagen.workload import DatasetSpec, build_dataset, build_query_workload
+from repro.topology import TopologySpec
+
+#: Five stations so a regions=2 split is uneven (3 + 2): the balanced-slice
+#: remainder path is always exercised.
+DATASET_SPEC = DatasetSpec(
+    users_per_category=4,
+    station_count=5,
+    days=1,
+    intervals_per_day=24,
+    noise_level=0,
+    cliques_per_place=2,
+    replicated_decoys_per_category=1,
+    seed=505,
+)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return build_dataset(DATASET_SPEC)
+
+
+@pytest.fixture(scope="session")
+def queries(dataset):
+    return list(build_query_workload(dataset, query_count=4, epsilon=0, seed=9).queries)
+
+
+def make_spec(
+    method: str = "wbf",
+    topology: "TopologySpec | None" = None,
+    **fault_kwargs,
+) -> ClusterSpec:
+    """A sim deployment differing from the flat baseline only in ``topology``."""
+    from repro.cluster.spec import FaultSpec
+
+    return ClusterSpec(
+        name="topology-suite",
+        protocol=ProtocolSpec(method=method),
+        topology=topology,
+        faults=FaultSpec(**fault_kwargs) if fault_kwargs else FaultSpec(),
+    )
+
+
+def open_cluster(dataset, **kwargs) -> Cluster:
+    return Cluster(make_spec(**kwargs), dataset=dataset)

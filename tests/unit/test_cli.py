@@ -289,3 +289,80 @@ class TestWorkloadCommand:
                 ["workload", "run", "steady-state", *self.TINY,
                  "--drive", "session", "--shards", "4"]
             )
+
+
+class TestWorkloadTopologyFlags:
+    TINY = [
+        "--stations", "3", "--users-per-category", "3", "--rounds", "2",
+    ]
+
+    def test_two_tier_override_prints_the_topology_header(self, capsys):
+        exit_code = main(
+            ["workload", "run", "steady-state", *self.TINY,
+             "--topology", "two-tier", "--regions", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "topology two-tier (2 regions)" in captured
+
+    def test_hier_scenarios_run_from_the_catalog(self, capsys):
+        for name in ("hier-steady", "hier-degraded-region"):
+            exit_code = main(["workload", "run", name, *self.TINY])
+            assert exit_code == 0
+            assert "topology two-tier" in capsys.readouterr().out
+
+    def test_tenant_flag_prints_per_tenant_summaries(self, capsys):
+        exit_code = main(
+            ["workload", "run", "steady-state", *self.TINY, "--tenants", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 tenants" in captured
+        assert "tenant tenant-0:" in captured
+        assert "tenant tenant-1:" in captured
+
+    def test_multi_tenant_scenario_runs_with_named_tenants(self, capsys):
+        exit_code = main(["workload", "run", "multi-tenant-skew", *self.TINY])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "tenant hot:" in captured
+        assert "tenant broad:" in captured
+
+    def test_rejects_unknown_topology_kind(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--topology", "ring"]
+            )
+
+    def test_rejects_more_regions_than_stations(self):
+        with pytest.raises(SystemExit, match="must not exceed stations"):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--topology", "two-tier", "--regions", "5"]
+            )
+
+    def test_rejects_regions_on_the_flat_star(self):
+        with pytest.raises(SystemExit, match="applies only to --topology two-tier"):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--topology", "star", "--regions", "2"]
+            )
+
+    def test_rejects_tenants_on_the_open_drive(self):
+        with pytest.raises(SystemExit, match="closed-loop"):
+            main(
+                ["workload", "run", "open-steady", *self.TINY,
+                 "--drive", "open", "--tenants", "2"]
+            )
+
+    def test_rejects_non_positive_region_and_tenant_counts(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["workload", "run", "steady-state", *self.TINY,
+                 "--topology", "two-tier", "--regions", "0"]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["workload", "run", "steady-state", *self.TINY, "--tenants", "0"]
+            )

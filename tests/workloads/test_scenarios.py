@@ -22,6 +22,9 @@ EXPECTED_SCENARIOS = {
     "open-ramp",
     "open-saturation",
     "open-soak-1m",
+    "hier-steady",
+    "hier-degraded-region",
+    "multi-tenant-skew",
 }
 
 

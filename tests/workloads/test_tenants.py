@@ -1,0 +1,156 @@
+"""Multi-tenant multiplexing: spec validation, accounting invariants, isolation.
+
+The tenant contract is an exact partition: every round a tenant drives is
+tagged with its name, and the per-tenant windows in ``WorkloadResult.tenants``
+must sum back to the run's totals — bytes, queries and round counts alike.
+Tenant streams are isolated by construction (each gets its own seeded RNG
+stream derived from a tenant-qualified spec name), which the determinism and
+skew assertions below observe from the outside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.topology import TopologySpec
+from repro.workloads import QueryMix, TenantSpec, WorkloadSpec, run_workload
+from repro.workloads.spec import OfferedLoad, RampPhase
+
+from .conftest import run_tiny, tiny_spec
+
+TENANTS = (
+    TenantSpec("hot", QueryMix(zipf_s=1.5)),
+    TenantSpec("broad", QueryMix()),
+)
+
+
+def _tenant_spec(**extra):
+    return tiny_spec(
+        "multi-tenant-skew",
+        rounds=4,
+        **extra,
+    )
+
+
+class TestSpecValidation:
+    def test_tenant_names_must_be_non_empty(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            TenantSpec("")
+
+    def test_tenant_mix_must_be_a_query_mix(self):
+        with pytest.raises(ConfigurationError, match="mix"):
+            TenantSpec("hot", mix="zipf")
+
+    def test_tenant_names_must_be_unique(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            WorkloadSpec(
+                name="dup",
+                tenants=(TenantSpec("a"), TenantSpec("a")),
+                topology=TopologySpec(tenant_count=2),
+            )
+
+    def test_tenant_mix_mismatch_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="tenant/mix mismatch"):
+            WorkloadSpec(
+                name="mismatch",
+                tenants=TENANTS,
+                topology=TopologySpec(tenant_count=3),
+            )
+
+    def test_single_stream_workloads_need_no_tenant_declarations(self):
+        spec = WorkloadSpec(name="plain")
+        assert spec.tenants == ()
+
+    def test_topology_regions_must_fit_the_deployment(self):
+        with pytest.raises(ConfigurationError, match="must not exceed stations"):
+            WorkloadSpec(
+                name="overpartitioned",
+                station_count=3,
+                topology=TopologySpec(kind="two-tier", regions=5),
+            )
+
+    def test_tenants_require_the_materialized_dataset_path(self):
+        from repro.datagen.source import SourceSpec
+
+        with pytest.raises(ConfigurationError, match="materialized dataset"):
+            WorkloadSpec(
+                name="streamed-tenants",
+                tenants=TENANTS,
+                topology=TopologySpec(tenant_count=2),
+                source=SourceSpec(kind="eager", station_count=3, users_per_station=4),
+            )
+
+
+class TestAccountingInvariants:
+    @pytest.fixture(scope="class", params=["simulation", "session"])
+    def result(self, request):
+        return run_workload(_tenant_spec(), drive=request.param)
+
+    def test_every_round_is_tagged_with_its_tenant(self, result):
+        names = [metrics.tenant for metrics in result.rounds]
+        assert set(names) == {"hot", "broad"}
+        # Round-robin in declaration order: hot, broad, hot, broad, ...
+        assert names == ["hot", "broad"] * (len(names) // 2)
+
+    def test_tenant_windows_partition_the_totals_exactly(self, result):
+        windows = {window.name: window for window in result.tenants}
+        assert set(windows) == {"hot", "broad"}
+        assert sum(w.round_count for w in windows.values()) == result.round_count
+        assert sum(w.query_count for w in windows.values()) == result.total_queries
+        assert sum(w.total_bytes for w in windows.values()) == result.total_bytes
+        assert (
+            sum(w.downlink_bytes + w.uplink_bytes for w in windows.values())
+            == result.total_bytes
+        )
+
+    def test_tenant_windows_match_their_tagged_rounds(self, result):
+        for window in result.tenants:
+            rounds = [m for m in result.rounds if m.tenant == window.name]
+            assert window.round_count == len(rounds)
+            assert window.query_count == sum(m.query_count for m in rounds)
+            assert window.downlink_bytes == sum(m.downlink_bytes for m in rounds)
+            assert window.uplink_bytes == sum(m.uplink_bytes for m in rounds)
+
+    def test_payload_carries_the_tenant_windows(self, result):
+        payload = result.to_payload()
+        assert [entry["name"] for entry in payload["tenants"]] == ["hot", "broad"]
+        for entry in payload["tenants"]:
+            assert entry["round_count"] > 0
+
+    def test_single_stream_payloads_stay_tenant_free(self):
+        result = run_tiny("steady-state")
+        assert result.tenants == ()
+        payload = result.to_payload()
+        assert "tenants" not in payload
+        assert all("tenant" not in entry for entry in payload["rounds"])
+
+
+class TestIsolationAndDeterminism:
+    def test_reruns_are_byte_identical(self):
+        first = run_workload(_tenant_spec())
+        second = run_workload(_tenant_spec())
+        assert second.transcript_bytes() == first.transcript_bytes()
+        assert second.to_payload() == first.to_payload()
+
+    def test_tenant_streams_are_independent_of_each_other(self):
+        """Swapping one tenant's mix must not disturb the other's queries."""
+        base = run_workload(_tenant_spec())
+        swapped = run_workload(
+            _tenant_spec(
+                tenants=(TenantSpec("hot", QueryMix(zipf_s=0.5)), TENANTS[1])
+            )
+        )
+        broad_base = next(w for w in base.tenants if w.name == "broad")
+        broad_swapped = next(w for w in swapped.tenants if w.name == "broad")
+        assert broad_swapped.query_count == broad_base.query_count
+        assert broad_swapped.downlink_bytes == broad_base.downlink_bytes
+
+    def test_open_drive_rejects_tenants(self):
+        spec = _tenant_spec(
+            offered=OfferedLoad(
+                rate_qps=2.0, ramp=(RampPhase("plateau", 4.0, 1.0),), max_arrivals=4
+            )
+        )
+        with pytest.raises(ValueError, match="closed-loop"):
+            run_workload(spec, drive="open")
